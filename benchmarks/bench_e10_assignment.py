@@ -1,0 +1,32 @@
+"""E10 — value of assignment freedom (paper vs the fixed-assignment
+predecessor model of Brinkmann et al.)."""
+
+import random
+from fractions import Fraction
+
+from repro.analysis import run_e10
+from repro.assigned import AssignedInstance, schedule_assigned
+
+from conftest import run_table
+
+
+def bench_e10_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e10)
+    for row in table.rows:
+        # fixed OPT <= fixed greedy, both relative to the same LB
+        assert row[3] <= row[2] + 1e-9
+
+
+def bench_assigned_greedy_m8(benchmark):
+    rng = random.Random(42)
+    inst = AssignedInstance.create(
+        [
+            [
+                (rng.randint(1, 4), Fraction(rng.randint(1, 24), 24))
+                for _ in range(10)
+            ]
+            for _ in range(8)
+        ]
+    )
+    result = benchmark(schedule_assigned, inst)
+    assert result.makespan > 0

@@ -1,0 +1,17 @@
+"""E11 — price of non-preemption (Listing 1 vs the preemptive greedy)."""
+
+from repro.analysis import run_e11
+from repro.core.preemptive import schedule_preemptive
+
+from conftest import run_table
+
+
+def bench_e11_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e11)
+    for row in table.rows:
+        assert row[2] >= 1.0 - 1e-9  # preemptive >= LB (preemption-proof)
+
+
+def bench_preemptive_m8_n200(benchmark, uniform_instance_m8_n200):
+    result = benchmark(schedule_preemptive, uniform_instance_m8_n200)
+    assert result.makespan > 0

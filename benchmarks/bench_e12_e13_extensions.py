@@ -1,0 +1,36 @@
+"""E12/E13 — extension studies: weighted objectives, nonlinear response."""
+
+import random
+
+from repro.analysis.experiments_extra import run_e12, run_e13
+from repro.extensions import (
+    NLJob,
+    linear_response,
+    simulate_nonlinear,
+)
+
+from conftest import run_table
+
+
+def bench_e12_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e12)
+    for row in table.rows:
+        assert row[5] >= 0.85  # oblivious rarely *beats* weighted ordering
+
+
+def bench_e13_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e13)
+    # the window's advantage must be largest under the concave curve
+    rows = {row[0]: row[3] for row in table.rows}
+    assert rows["concave(0.5)"] >= rows["convex(2)"]
+
+
+def bench_nonlinear_simulator_n200(benchmark):
+    rng = random.Random(42)
+    jobs = [
+        NLJob(id=i, size=float(rng.randint(1, 6)),
+              requirement=rng.randint(2, 40) / 40.0)
+        for i in range(200)
+    ]
+    result = benchmark(simulate_nonlinear, jobs, 8, linear_response)
+    assert result.makespan > 0

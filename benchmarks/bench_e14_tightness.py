@@ -1,0 +1,20 @@
+"""E14 — tightness probe: annealed worst cases vs the proven guarantee."""
+
+from repro.analysis.worstcase import anneal_worst_case, run_e14
+
+from conftest import run_table
+
+
+def bench_e14_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e14)
+    for row in table.rows:
+        assert row[3] <= row[4] + 1e-9
+
+
+def bench_annealing_m4_n8(benchmark):
+    best = benchmark.pedantic(
+        lambda: anneal_worst_case(4, 8, iterations=150, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    assert best.ratio >= 1.0

@@ -1,0 +1,22 @@
+"""E15 — online arrivals: empirical competitive ratio."""
+
+import random
+
+from repro.analysis.experiments_online import run_e15
+from repro.online import poisson_like_instance, schedule_online
+
+from conftest import run_table
+
+
+def bench_e15_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e15)
+    for row in table.rows:
+        assert row[2] >= 1.0 - 1e-9  # window >= offline-clairvoyant LB
+
+
+def bench_online_window_m8_n100(benchmark):
+    inst = poisson_like_instance(random.Random(42), 8, 100, arrival_prob=0.6)
+    result = benchmark.pedantic(
+        lambda: schedule_online(inst), rounds=3, iterations=1
+    )
+    assert result.makespan > 0

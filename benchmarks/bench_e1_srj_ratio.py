@@ -1,0 +1,22 @@
+"""E1 — SRJ approximation ratio vs the Eq.(1) lower bound (Theorem 3.3).
+
+Regenerates the E1 table (ratio per m and workload family, against the
+``2 + 1/(m-2)`` guarantee) and micro-benchmarks the accelerated scheduler.
+"""
+
+from repro.analysis import run_e1
+from repro.core.scheduler import schedule_srj
+
+from conftest import run_table
+
+
+def bench_e1_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e1)
+    # sanity: the measured ratios never exceed the theoretical guarantee
+    for row in table.rows:
+        assert row[4] <= row[5] + 1e-9, row
+
+
+def bench_srj_schedule_m8_n200(benchmark, uniform_instance_m8_n200):
+    result = benchmark(schedule_srj, uniform_instance_m8_n200)
+    assert result.makespan > 0

@@ -1,0 +1,17 @@
+"""E2 — unit-size guarantees: modified algorithm vs ``1 + 1/(m-1)``."""
+
+from repro.analysis import run_e2
+from repro.core.unit import schedule_unit
+
+from conftest import run_table
+
+
+def bench_e2_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e2)
+    for row in table.rows:
+        assert row[6] is True, f"base-algorithm unit bound violated: {row}"
+
+
+def bench_unit_schedule_m8_n300(benchmark, uniform_unit_instance_m8_n300):
+    result = benchmark(schedule_unit, uniform_unit_instance_m8_n300)
+    assert result.makespan > 0

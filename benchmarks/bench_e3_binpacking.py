@@ -1,0 +1,42 @@
+"""E3 — bin packing with cardinality constraints (Corollary 3.9).
+
+Regenerates the sliding-window-vs-NextFit table across k, including the
+adversarial ``2 - 1/k`` family, and micro-benchmarks both packers.
+"""
+
+import random
+from fractions import Fraction
+
+from repro.analysis import run_e3
+from repro.binpacking import make_items, pack_next_fit, pack_sliding_window
+from repro.workloads import uniform_fractions
+
+from conftest import run_table
+
+
+def bench_e3_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e3)
+    # on the adversarial rows, the window packer must beat NextFit at k >= 4
+    adversarial = [r for r in table.rows if r[2] == "nf-adversarial"]
+    assert adversarial
+    for row in adversarial:
+        if row[0] >= 4:
+            assert row[3] < row[4], row
+
+
+def _items(n=300):
+    return make_items(
+        uniform_fractions(random.Random(42), n, hi=Fraction(6, 5))
+    )
+
+
+def bench_pack_sliding_window_k8_n300(benchmark):
+    items = _items()
+    packing = benchmark(pack_sliding_window, items, 8)
+    assert packing.num_bins > 0
+
+
+def bench_pack_next_fit_k8_n300(benchmark):
+    items = _items()
+    packing = benchmark(pack_next_fit, items, 8)
+    assert packing.num_bins > 0

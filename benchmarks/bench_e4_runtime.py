@@ -1,0 +1,42 @@
+"""E4 — running-time scaling (the ``O((m+n)·n)`` claim of Theorem 3.3).
+
+The table sweeps n (fixed m) and m (fixed n), fits power-law exponents, and
+the micro-benchmarks below give pytest-benchmark's statistically robust
+timings at three sizes — the "series" behind the scaling figure.
+"""
+
+import random
+
+from repro.analysis import run_e4
+from repro.core.scheduler import schedule_srj
+from repro.workloads import make_instance
+
+from conftest import run_table
+
+
+def bench_e4_table(benchmark, capsys):
+    run_table(benchmark, capsys, run_e4)
+
+
+def _inst(n, m=8, seed=42):
+    return make_instance("uniform", random.Random(seed), m, n)
+
+
+def bench_srj_n100(benchmark):
+    inst = _inst(100)
+    benchmark(schedule_srj, inst)
+
+
+def bench_srj_n400(benchmark):
+    inst = _inst(400)
+    benchmark(schedule_srj, inst)
+
+
+def bench_srj_n1600(benchmark):
+    inst = _inst(1600)
+    benchmark(schedule_srj, inst)
+
+
+def bench_srj_m64_n400(benchmark):
+    inst = _inst(400, m=64)
+    benchmark(schedule_srj, inst)

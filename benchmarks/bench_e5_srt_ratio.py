@@ -1,0 +1,29 @@
+"""E5 — SRT average completion time (Theorem 4.8) vs Lemma 4.3 LB."""
+
+import random
+
+from repro.analysis import run_e5
+from repro.tasks import schedule_tasks, srt_guarantee_factor
+from repro.workloads import make_taskset
+
+from conftest import run_table
+
+
+def bench_e5_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e5)
+    # the split algorithm never exceeds its guarantee factor (the o(1)
+    # additive part is tiny at these task counts, allow 25% headroom)
+    for row in table.rows:
+        assert row[3] <= row[6] * 1.25, row
+
+
+def bench_srt_schedule_m10_k50(benchmark):
+    ti = make_taskset("mixed", random.Random(42), 10, 50)
+    result = benchmark(schedule_tasks, ti)
+    assert result.sum_completion_times() > 0
+
+
+def bench_srt_schedule_cloud_m20_k80(benchmark):
+    ti = make_taskset("cloud", random.Random(42), 20, 80)
+    result = benchmark(schedule_tasks, ti)
+    assert result.sum_completion_times() > 0

@@ -1,0 +1,27 @@
+"""E6 — ratios against *true* optima (MILP) on small instances."""
+
+import random
+from fractions import Fraction
+
+from repro.analysis import run_e6
+from repro.core.instance import Instance
+from repro.exact import solve_exact
+
+from conftest import run_table
+
+
+def bench_e6_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e6)
+    for row in table.rows:
+        assert row[3] >= 1.0 - 1e-9, row  # ALG never beats OPT
+
+
+def bench_milp_solve_n5_m3(benchmark):
+    rng = random.Random(42)
+    inst = Instance.from_requirements(
+        3, [Fraction(rng.randint(1, 12), 12) for _ in range(5)]
+    )
+    result = benchmark.pedantic(
+        lambda: solve_exact(inst), rounds=1, iterations=1
+    )
+    assert result.makespan >= result.lower_bound

@@ -1,0 +1,25 @@
+"""E8 — Lemma 4.1/4.2 per-task completion-time bounds."""
+
+import random
+from fractions import Fraction
+
+from repro.analysis import run_e8
+from repro.tasks import run_sequential
+from repro.workloads import heavy_taskset
+
+from conftest import run_table
+
+
+def bench_e8_table(benchmark, capsys):
+    table = run_table(benchmark, capsys, run_e8)
+    for row in table.rows:
+        assert row[3] == 0, f"lemma bound violated: {row}"
+
+
+def bench_sequential_heavy_m8_k40(benchmark):
+    ti = heavy_taskset(random.Random(42), 8, 40)
+    ordered = sorted(ti.tasks, key=lambda t: (t.total_requirement(), t.id))
+    result = benchmark(
+        run_sequential, ordered, 8, Fraction(1), False
+    )
+    assert result.makespan > 0

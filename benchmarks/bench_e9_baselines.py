@@ -1,0 +1,19 @@
+"""E9 — SRJ algorithm vs baselines (list scheduling, greedy fill)."""
+
+from repro.analysis import run_e9
+from repro.baselines import schedule_list_scheduling
+
+from conftest import run_table
+
+
+def bench_e9_table(benchmark, capsys):
+    run_table(benchmark, capsys, run_e9)
+
+
+def bench_list_scheduling_m8_n200(benchmark, uniform_instance_m8_n200):
+    result = benchmark.pedantic(
+        lambda: schedule_list_scheduling(uniform_instance_m8_n200),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.makespan > 0

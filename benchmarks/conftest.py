@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_eN_*.py`` file regenerates one experiment table of DESIGN.md §5
+(printed to the terminal) and micro-benchmarks the code paths it exercises.
+Set ``REPRO_BENCH_SCALE=full`` for the larger sweeps recorded in
+EXPERIMENTS.md (the default ``small`` keeps the whole harness under a few
+minutes).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.workloads import make_instance
+
+#: experiment sweep size: "small" (CI) or "full" (EXPERIMENTS.md numbers)
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def run_table(benchmark, capsys, runner, **kwargs):
+    """Run an experiment exactly once under the benchmark timer and print
+    its table to the real terminal (so it lands in bench_output.txt)."""
+    table = benchmark.pedantic(
+        lambda: runner(scale=SCALE, seed=0, **kwargs), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(table.render())
+        print()
+    return table
+
+
+@pytest.fixture
+def uniform_instance_m8_n200() -> Instance:
+    """Fixed mid-size instance for micro-benchmarks."""
+    return make_instance("uniform", random.Random(42), 8, 200)
+
+
+@pytest.fixture
+def uniform_unit_instance_m8_n300() -> Instance:
+    """Fixed unit-size instance for micro-benchmarks."""
+    from repro.workloads import unit_instance
+
+    return unit_instance(random.Random(42), 8, 300)

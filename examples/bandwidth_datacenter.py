@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scenario: a rack of servers sharing uplink bandwidth.
+
+The paper's motivating example: ``m`` processors (servers) share the rack's
+total uplink.  Data-intensive jobs (backups, shuffles) need a large slice of
+the uplink per unit of work; compute-heavy jobs barely touch it.  The
+scheduler must both place jobs and divide the bandwidth over time.
+
+This example builds a bimodal workload (many compute jobs + a minority of
+data-hungry ones), runs the paper's sliding-window algorithm and the
+classic baselines, and compares makespans and bandwidth utilization.
+
+Run:  python examples/bandwidth_datacenter.py
+"""
+
+import random
+
+from repro import makespan_lower_bound, schedule_srj
+from repro.baselines import (
+    schedule_greedy_fill,
+    schedule_list_scheduling,
+)
+from repro.simulator import ScheduleMetrics
+from repro.workloads import bimodal_instance
+
+
+def main() -> None:
+    rng = random.Random(2017)
+    m = 12          # servers in the rack
+    n = 120         # queued jobs
+    inst = bimodal_instance(rng, m, n)
+
+    lb = makespan_lower_bound(inst)
+    print(f"rack: {m} servers, {n} jobs, Eq.(1) lower bound = {lb} steps")
+    print()
+
+    # --- the paper's algorithm -------------------------------------------
+    ours = schedule_srj(inst)
+    metrics = ScheduleMetrics.from_schedule(ours.schedule(max_steps=10**6))
+    print("sliding-window algorithm (Listing 1):")
+    print(f"  makespan          : {ours.makespan}  ({ours.makespan/lb:.3f}x LB)")
+    print(f"  avg bandwidth use : {metrics.avg_utilization:.1%}")
+    print(f"  wasted bandwidth  : {float(ours.total_waste):.2f} step-units")
+    print()
+
+    # --- baselines --------------------------------------------------------
+    for name, runner in [
+        ("list scheduling (Garey-Graham style)", schedule_list_scheduling),
+        ("greedy fill (no splitting)", schedule_greedy_fill),
+    ]:
+        res = runner(inst)
+        bm = ScheduleMetrics.from_schedule(res.schedule)
+        print(f"{name}:")
+        print(
+            f"  makespan          : {res.makespan}  "
+            f"({res.makespan/lb:.3f}x LB)"
+        )
+        print(f"  avg bandwidth use : {bm.avg_utilization:.1%}")
+        print()
+
+    print(
+        "The window algorithm keeps the uplink saturated by *fracturing* at"
+        "\nmost one job per step (giving it the leftover bandwidth), which"
+        "\nthe full-allocation baselines cannot do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scenario: composed cloud services (Section 4 of the paper).
+
+Users submit applications (*tasks*), each a bundle of small parallel
+services (*jobs*) with individual bandwidth demands; a task is done when its
+last service finishes and we care about the *average* task completion time.
+
+The Section-4 algorithm splits tasks into bandwidth-heavy and
+bandwidth-light populations, runs each on half the machine, and orders them
+shortest-first within each half — achieving ``(2 + 4/(m-3)) + o(1)`` times
+the optimal average completion time.
+
+Run:  python examples/cloud_composed_services.py
+"""
+
+import random
+
+from repro.tasks import (
+    partition_tasks,
+    schedule_tasks,
+    schedule_tasks_fifo,
+    schedule_tasks_job_level,
+    srt_guarantee_factor,
+    srt_lower_bound,
+)
+from repro.workloads import cloud_taskset
+
+
+def main() -> None:
+    rng = random.Random(24)
+    m = 16           # processors
+    k = 60           # submitted applications
+    instance = cloud_taskset(rng, m, k)
+
+    heavy, light = partition_tasks(instance)
+    print(f"cluster: m={m}, applications: k={k}, services: {instance.n_jobs}")
+    print(
+        f"partition (threshold 1/(m-1) = 1/{m-1}): "
+        f"{len(heavy)} bandwidth-heavy, {len(light)} bandwidth-light"
+    )
+    lb = srt_lower_bound(instance)
+    print(f"Lemma 4.3 lower bound on Σ completion times: {lb}")
+    print()
+
+    algos = [
+        ("Section-4 split algorithm", schedule_tasks),
+        ("FIFO (submission order)", schedule_tasks_fifo),
+        ("task-oblivious (job-level SRJ)", schedule_tasks_job_level),
+    ]
+    for name, algo in algos:
+        res = algo(instance)
+        s = res.sum_completion_times()
+        print(f"{name}:")
+        print(f"  sum of completion times : {s}  ({s/lb:.3f}x LB)")
+        print(f"  average completion time : {float(res.average_completion_time()):.2f}")
+        print(f"  makespan                : {res.makespan}")
+        print()
+
+    print(
+        f"guarantee for the split algorithm (Thm 4.8): "
+        f"{float(srt_guarantee_factor(m)):.3f}x OPT + o(1)"
+    )
+    print(
+        "\nThe task-oblivious baseline has a fine makespan but poor average"
+        "\ncompletion time: it interleaves all tasks, so early applications"
+        "\nwait for the whole queue.  The split algorithm finishes small"
+        "\napplications first within each resource class."
+    )
+
+
+if __name__ == "__main__":
+    main()

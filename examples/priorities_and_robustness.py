@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scenario: priority customers and imperfect bandwidth models.
+
+Two questions a practitioner would ask before adopting the paper's
+scheduler, answered with the library's extension modules:
+
+1. *My applications have priorities.*  The weighted-SRT extension orders
+   each half of the Section-4 split by Smith's rule (``r(T)/w``); we
+   measure what ignoring the weights costs.
+2. *My bandwidth response is not linear.*  The nonlinear simulator replays
+   the window policy under concave/convex/threshold response curves and
+   compares it against full-allocation list scheduling, which is immune to
+   the curve by construction.
+
+Run:  python examples/priorities_and_robustness.py
+"""
+
+import random
+
+from repro.extensions import (
+    NLJob,
+    RESPONSES,
+    nonlinear_lower_bound,
+    random_weights,
+    schedule_tasks_weight_oblivious,
+    schedule_tasks_weighted,
+    simulate_nonlinear,
+    weighted_srt_lower_bound,
+    weighted_sum,
+)
+from repro.workloads import make_taskset
+
+
+def weighted_demo() -> None:
+    rng = random.Random(11)
+    m, k = 12, 40
+    ti = make_taskset("cloud", rng, m, k)
+    weights = random_weights(rng, ti, lo=1, hi=20)
+    lb = weighted_srt_lower_bound(ti, weights)
+
+    weighted = schedule_tasks_weighted(ti, weights)
+    oblivious = schedule_tasks_weight_oblivious(ti, weights)
+    sw = weighted_sum(weighted, weights)
+    so = weighted_sum(oblivious, weights)
+
+    print("--- priorities (weighted SRT) ---")
+    print(f"cluster m={m}, applications k={k}, weights in [1, 20]")
+    print(f"Smith-rule lower bound on Σ w·f : {float(lb):.0f}")
+    print(f"weight-aware split scheduler    : {float(sw):.0f}  ({float(sw/lb):.3f}x LB)")
+    print(f"weight-oblivious (Thm 4.8)      : {float(so):.0f}  ({float(so/lb):.3f}x LB)")
+    print(f"cost of ignoring priorities     : {float(so/sw):.2f}x")
+    print()
+
+
+def robustness_demo() -> None:
+    rng = random.Random(4)
+    m, n = 8, 80
+    jobs = [
+        NLJob(
+            id=i,
+            size=float(rng.randint(1, 6)),
+            requirement=rng.randint(2, 40) / 40.0,
+        )
+        for i in range(n)
+    ]
+    lb = nonlinear_lower_bound(jobs, m)
+    print("--- robustness to the response curve ---")
+    print(f"{n} jobs on m={m}; progress per step = g(share / r_j)")
+    print(f"{'response':<18}{'window':>8}{'full-only':>11}{'advantage':>11}")
+    for name, g in RESPONSES.items():
+        w = simulate_nonlinear(jobs, m, g, policy="window").makespan
+        f = simulate_nonlinear(jobs, m, g, policy="full_only").makespan
+        print(f"{name:<18}{w:>8}{f:>11}{f / w:>10.2f}x")
+    print()
+    print(
+        "Concave curves (real networks saturate) *increase* the window"
+        "\nalgorithm's edge; even at convex g(x)=x² it does not fall behind"
+        "\nthe conservative full-allocation baseline."
+    )
+
+
+if __name__ == "__main__":
+    weighted_demo()
+    robustness_demo()

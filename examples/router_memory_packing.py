@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Scenario: memory allocation in pipelined router forwarding engines.
+
+Chung, Graham, Mao and Varghese (2006) — the origin of *bin packing with
+splittable items and cardinality constraints*, and the problem the paper's
+Corollary 3.9 improves on: routing tables (items) must be distributed over
+memory banks (bins).  A table may be split across banks, but each bank can
+serve at most ``k`` table lookups per cycle (cardinality constraint).
+
+For large k the classic simple algorithms stay ~2x optimal while the
+sliding-window packer approaches optimal (ratio 1 + 1/(k-1)).
+
+Run:  python examples/router_memory_packing.py
+"""
+
+import random
+from fractions import Fraction
+
+from repro.binpacking import (
+    pack_first_fit_unsplit,
+    pack_next_fit,
+    pack_sliding_window,
+    packing_lower_bound,
+    waste,
+)
+from repro.binpacking.item import make_items
+from repro.workloads import next_fit_adversarial_items
+
+
+def random_routing_tables(rng: random.Random, n: int):
+    """Table sizes as fractions of one memory bank (may exceed a bank)."""
+    sizes = []
+    for _ in range(n):
+        # log-uniform in (1/64, 2] — a few big tables, many small ones
+        e = rng.uniform(-6, 1)
+        sizes.append(Fraction(max(int(round(2**e * 64)), 1), 64))
+    return make_items(sizes)
+
+
+def report(name, packing, lb):
+    packing.assert_valid()
+    bins = packing.num_bins
+    print(
+        f"  {name:<28} {bins:>4} banks  ({bins/lb:.3f}x LB, "
+        f"waste {float(waste(packing)):.1f} bank-units)"
+    )
+
+
+def main() -> None:
+    rng = random.Random(7)
+    k = 16                      # lookups per bank per cycle
+    tables = random_routing_tables(rng, 180)
+    lb = packing_lower_bound(tables, k)
+
+    print(f"{len(tables)} routing tables, cardinality constraint k={k}")
+    print(f"lower bound: {lb} memory banks")
+    print()
+    print("log-uniform table sizes:")
+    report("sliding window (Cor. 3.9)", pack_sliding_window(tables, k), lb)
+    report("next fit (splitting)", pack_next_fit(tables, k), lb)
+    report("first fit (no splitting)", pack_first_fit_unsplit(tables, k), lb)
+
+    print()
+    print("adversarial sizes (the 2 - 1/k family for NextFit):")
+    adv = next_fit_adversarial_items(40, k=k)
+    lb2 = packing_lower_bound(adv, k)
+    report("sliding window (Cor. 3.9)", pack_sliding_window(adv, k), lb2)
+    report("next fit (splitting)", pack_next_fit(adv, k), lb2)
+    report("first fit (no splitting)", pack_first_fit_unsplit(adv, k), lb2)
+    print()
+    print(
+        "On the adversarial mix the window packer recreates the optimal"
+        "\n(one big table + k-1 slivers per bank) layout; NextFit burns"
+        "\nnearly twice the memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

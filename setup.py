@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` and
+``python setup.py develop`` to work with older setuptools; all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

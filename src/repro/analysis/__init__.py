@@ -1,0 +1,56 @@
+"""Analysis layer: ratio measurement, statistics, tables, experiments."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e9,
+)
+from .experiments_ext import run_e10, run_e11
+from .experiments_extra import run_e12, run_e13
+from .export import export_all, table_to_csv, write_table_csv
+from .figures import ALL_FIGURES, run_f1, run_f2, run_f3
+from .gantt import render_gantt, render_utilization_sparkline
+from .ratios import (
+    RatioSample,
+    adversarial_ratio_search,
+    measure_srj,
+    measure_unit,
+    theoretical_ratio,
+    theoretical_unit_ratio,
+)
+from .stats import Summary, fit_power_law, mean_confidence_interval, percentile
+from .tables import ExperimentTable, render_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ALL_FIGURES",
+    "run_e1", "run_e2", "run_e3", "run_e4", "run_e5",
+    "run_e6", "run_e7", "run_e8", "run_e9",
+    "run_e10", "run_e11",
+    "run_f1", "run_f2", "run_f3",
+    "render_gantt",
+    "render_utilization_sparkline",
+    "run_e12", "run_e13",
+    "table_to_csv",
+    "write_table_csv",
+    "export_all",
+    "RatioSample",
+    "measure_srj",
+    "measure_unit",
+    "adversarial_ratio_search",
+    "theoretical_ratio",
+    "theoretical_unit_ratio",
+    "Summary",
+    "percentile",
+    "mean_confidence_interval",
+    "fit_power_law",
+    "ExperimentTable",
+    "render_table",
+]

@@ -1,0 +1,134 @@
+"""Extension experiments E10/E11 — model comparisons beyond the paper's
+own claims (listed as design-ablation targets in DESIGN.md §6).
+
+* **E10 — value of assignment freedom.**  The paper's central advance over
+  Brinkmann et al. [3] is choosing the job→processor assignment instead of
+  receiving it.  We generate random fixed-assignment instances, schedule
+  them (a) under the fixed assignment (greedy policies + exact MILP where
+  small) and (b) with the paper's algorithm on the freed instance, and
+  report the makespan gap.
+* **E11 — price of non-preemption.**  The paper's bounds are valid under
+  preemption (Cor. 3.9 relies on it).  We compare the non-preemptive
+  algorithm against the preemptive greedy relaxation.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List
+
+from ..assigned import (
+    AssignedInstance,
+    assigned_lower_bound,
+    schedule_assigned,
+    solve_assigned_exact,
+)
+from ..core.bounds import makespan_lower_bound
+from ..core.preemptive import schedule_preemptive
+from ..core.scheduler import schedule_srj
+from ..exact import ExactSolverError
+from ..workloads import make_instance
+from .stats import Summary
+from .tables import ExperimentTable
+
+
+def _random_assigned(
+    rng: random.Random, m: int, jobs_per_queue: int, denominator: int = 24
+) -> AssignedInstance:
+    queues = []
+    for _ in range(m):
+        queues.append(
+            [
+                (rng.randint(1, 3), Fraction(rng.randint(1, denominator), denominator))
+                for _ in range(rng.randint(0, jobs_per_queue))
+            ]
+        )
+    return AssignedInstance.create(queues)
+
+
+def run_e10(scale: str = "small", seed: int = 0) -> ExperimentTable:
+    """Fixed vs free assignment (the paper vs its predecessor model)."""
+    trials = 6 if scale == "small" else 20
+    jobs_per_queue = 3 if scale == "small" else 4
+    table = ExperimentTable(
+        id="E10",
+        title="Value of assignment freedom: fixed-assignment vs Listing 1",
+        headers=[
+            "m", "trials", "fixed greedy / LB", "fixed OPT / LB",
+            "free alg / LB", "free wins (%)",
+        ],
+        notes=[
+            "fixed OPT via MILP when the horizon permits, else best greedy",
+            "LB is the fixed-assignment bound (resource + chain)",
+        ],
+    )
+    rng = random.Random(seed)
+    for m in (2, 3, 4):
+        greedy_r, opt_r, free_r = [], [], []
+        wins = 0
+        count = 0
+        for _ in range(trials):
+            inst = _random_assigned(rng, m, jobs_per_queue)
+            if inst.n == 0:
+                continue
+            count += 1
+            lb = assigned_lower_bound(inst)
+            greedy = min(
+                schedule_assigned(inst, policy=p).makespan
+                for p in ("smallest_first", "largest_first")
+            )
+            try:
+                fixed_opt, _ = solve_assigned_exact(inst, upper_bound=greedy)
+            except ExactSolverError:
+                fixed_opt = greedy
+            free = schedule_srj(inst.to_free_instance()).makespan
+            greedy_r.append(greedy / lb)
+            opt_r.append(fixed_opt / lb)
+            free_r.append(free / lb)
+            if free < fixed_opt:
+                wins += 1
+        table.add_row(
+            m, count,
+            round(Summary.of(greedy_r).mean, 4),
+            round(Summary.of(opt_r).mean, 4),
+            round(Summary.of(free_r).mean, 4),
+            round(100 * wins / max(count, 1), 1),
+        )
+    return table
+
+
+def run_e11(scale: str = "small", seed: int = 0) -> ExperimentTable:
+    """Price of non-preemption: Listing 1 vs the preemptive relaxation."""
+    trials = 5 if scale == "small" else 15
+    n = 40 if scale == "small" else 150
+    table = ExperimentTable(
+        id="E11",
+        title="Price of non-preemption (both vs Eq.(1) LB)",
+        headers=[
+            "m", "family", "preemptive / LB", "non-preemptive / LB",
+            "gap (non/pre)",
+        ],
+        notes=["Eq.(1) LB is preemption-proof, so both columns are >= 1"],
+    )
+    rng = random.Random(seed)
+    for m in (3, 4, 8, 16):
+        for family in ("uniform", "bimodal", "heavy_tail"):
+            pre_r: List[float] = []
+            non_r: List[float] = []
+            gaps: List[float] = []
+            for _ in range(trials):
+                inst = make_instance(family, rng, m, n)
+                lb = makespan_lower_bound(inst)
+                pre = schedule_preemptive(inst).makespan
+                non = schedule_srj(inst).makespan
+                pre_r.append(pre / lb)
+                non_r.append(non / lb)
+                gaps.append(non / pre)
+            table.add_row(
+                m, family,
+                round(Summary.of(pre_r).mean, 4),
+                round(Summary.of(non_r).mean, 4),
+                round(Summary.of(gaps).mean, 4),
+            )
+    return table

@@ -1,0 +1,51 @@
+"""CSV export of experiment tables (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+from .tables import ExperimentTable
+
+
+def table_to_csv(table: ExperimentTable) -> str:
+    """Render *table* as CSV text (header row + data rows).
+
+    Notes are appended as ``# ...`` comment lines, which pandas reads with
+    ``comment='#'``.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.headers)
+    for row in table.rows:
+        writer.writerow(row)
+    for note in table.notes:
+        buffer.write(f"# {note}\n")
+    return buffer.getvalue()
+
+
+def write_table_csv(
+    table: ExperimentTable, path: Union[str, Path]
+) -> Path:
+    """Write *table* to *path*; returns the resolved path."""
+    out = Path(path)
+    out.write_text(table_to_csv(table))
+    return out
+
+
+def export_all(
+    directory: Union[str, Path], scale: str = "small", seed: int = 0
+) -> list:
+    """Run every registered experiment and write one CSV per table into
+    *directory* (created if needed).  Returns the written paths."""
+    from .experiments import ALL_EXPERIMENTS
+
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in sorted(ALL_EXPERIMENTS):
+        table = ALL_EXPERIMENTS[name](scale=scale, seed=seed)
+        written.append(write_table_csv(table, out_dir / f"{name}.csv"))
+    return written

@@ -1,0 +1,116 @@
+"""Figure-series experiments — the data behind the reproduction's plots.
+
+The paper has no figures; these series are the natural visualizations of
+its claims (DESIGN.md §5).  Each function returns an
+:class:`~repro.analysis.tables.ExperimentTable` whose rows are the (x, y…)
+points of one figure:
+
+* **F1** — approximation ratio vs m, one series per workload family, with
+  the ``2 + 1/(m-2)`` guarantee curve;
+* **F2** — wall-clock vs n at fixed m (log-log straight line ⇒ power law);
+* **F3** — SRT ratio vs number of tasks k: the ``o(1)`` term's decay.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List
+
+from ..core.bounds import makespan_lower_bound
+from ..core.scheduler import schedule_srj
+from ..tasks import schedule_tasks, srt_guarantee_factor, srt_lower_bound
+from ..workloads import make_instance, make_taskset
+from .ratios import theoretical_ratio
+from .stats import Summary
+from .tables import ExperimentTable
+
+
+def run_f1(scale: str = "small", seed: int = 0) -> ExperimentTable:
+    """Ratio-vs-m curves (series: one column per family + the guarantee)."""
+    trials = 4 if scale == "small" else 15
+    n = 60 if scale == "small" else 200
+    families = ("uniform", "bimodal", "heavy_tail", "correlated")
+    table = ExperimentTable(
+        id="F1",
+        title="Series: empirical ratio vs m (per family) and the guarantee",
+        headers=["m"] + [f"ratio({f})" for f in families] + ["2+1/(m-2)"],
+    )
+    rng = random.Random(seed)
+    for m in (3, 4, 5, 6, 8, 12, 16, 24, 32, 48, 64):
+        row: List[object] = [m]
+        for family in families:
+            ratios = []
+            for _ in range(trials):
+                inst = make_instance(family, rng, m, n)
+                ratios.append(
+                    schedule_srj(inst).makespan / makespan_lower_bound(inst)
+                )
+            row.append(round(Summary.of(ratios).mean, 4))
+        row.append(round(theoretical_ratio(m), 4))
+        table.add_row(*row)
+    return table
+
+
+def run_f2(scale: str = "small", seed: int = 0) -> ExperimentTable:
+    """Wall-clock vs n series at fixed m (three repetitions, best-of)."""
+    ns = [50, 100, 200, 400, 800] if scale == "small" else [
+        100, 200, 400, 800, 1600, 3200, 6400,
+    ]
+    m = 8
+    reps = 3
+    table = ExperimentTable(
+        id="F2",
+        title=f"Series: accelerated scheduler seconds vs n (m={m})",
+        headers=["n", "seconds", "seconds/n (linear check)"],
+    )
+    rng = random.Random(seed)
+    for n in ns:
+        inst = make_instance("uniform", rng, m, n)
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            schedule_srj(inst)
+            best = min(best, time.perf_counter() - t0)
+        table.add_row(n, round(best, 5), round(best / n * 1e6, 3))
+    table.notes.append("third column in microseconds per job")
+    return table
+
+
+def run_f3(scale: str = "small", seed: int = 0) -> ExperimentTable:
+    """SRT ratio vs k — the o(1) additive term must decay as k grows."""
+    ks = [4, 8, 16, 32, 64] if scale == "small" else [
+        4, 8, 16, 32, 64, 128, 256,
+    ]
+    m = 10
+    trials = 3 if scale == "small" else 8
+    table = ExperimentTable(
+        id="F3",
+        title=f"Series: SRT ratio vs number of tasks k (m={m})",
+        headers=["k", "mixed", "cloud", "guarantee factor"],
+        notes=["Theorem 4.8: ratio -> 2+4/(m-3) as k -> inf (o(1) decay)"],
+    )
+    rng = random.Random(seed)
+    factor = round(float(srt_guarantee_factor(m)), 4)
+    for k in ks:
+        row: List[object] = [k]
+        for family in ("mixed", "cloud"):
+            ratios = []
+            for _ in range(trials):
+                ti = make_taskset(family, rng, m, k)
+                lb = srt_lower_bound(ti)
+                if lb:
+                    ratios.append(
+                        schedule_tasks(ti).sum_completion_times() / lb
+                    )
+            row.append(round(Summary.of(ratios).mean, 4))
+        row.append(factor)
+        table.add_row(*row)
+    return table
+
+
+ALL_FIGURES: Dict[str, object] = {
+    "f1": run_f1,
+    "f2": run_f2,
+    "f3": run_f3,
+}

@@ -1,0 +1,83 @@
+"""ASCII Gantt rendering of schedules — used by the CLI and examples.
+
+Renders one row per processor plus a resource-utilization footer::
+
+    p0 |  0  0  0  4  4 .  .
+    p1 |  1  1  3  3  .  .  .
+    res|  ##########  ######
+
+Each column is one time step; the cell shows the job id running there
+(``.`` = idle).  The footer shades per-step resource utilization in tenths.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.schedule import Schedule
+
+#: utilization shading, 0%..100% in tenths
+_SHADES = " .:-=+*#%@"
+
+
+def render_gantt(
+    schedule: Schedule, max_width: int = 120
+) -> str:
+    """Render *schedule* as an ASCII Gantt chart.
+
+    Schedules longer than *max_width* steps are right-truncated with an
+    ellipsis marker (rendering a 10^6-step schedule is never useful).
+    """
+    inst = schedule.instance
+    steps = schedule.steps
+    truncated = False
+    if len(steps) > max_width:
+        steps = steps[:max_width]
+        truncated = True
+    width = max((len(str(j.id)) for j in inst.jobs), default=1)
+    cell = width + 1
+
+    rows: List[List[str]] = [
+        ["." * width for _ in steps] for _ in range(inst.m)
+    ]
+    for t, step in enumerate(steps):
+        for piece in step.pieces:
+            if piece.processor < inst.m:
+                rows[piece.processor][t] = str(piece.job_id).rjust(width)
+
+    lines = []
+    label_w = len(f"p{inst.m - 1}")
+    for i, row in enumerate(rows):
+        label = f"p{i}".ljust(label_w)
+        lines.append(f"{label} |" + "".join(c.rjust(cell) for c in row))
+    # utilization footer
+    shades = []
+    for step in steps:
+        u = float(step.total_share())
+        idx = min(int(round(u * (len(_SHADES) - 1))), len(_SHADES) - 1)
+        shades.append(_SHADES[idx] * width)
+    lines.append(
+        "res".ljust(label_w) + " |" + "".join(s.rjust(cell) for s in shades)
+    )
+    if truncated:
+        lines.append(f"... truncated at {max_width} of {schedule.makespan} steps")
+    return "\n".join(lines)
+
+
+def render_utilization_sparkline(schedule: Schedule, max_width: int = 240) -> str:
+    """One-line utilization sparkline (for very long schedules)."""
+    utils = [float(s.total_share()) for s in schedule.steps]
+    if not utils:
+        return "(empty schedule)"
+    if len(utils) > max_width:
+        # bucket-average down to max_width columns
+        bucket = len(utils) / max_width
+        utils = [
+            sum(utils[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(len(utils[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)]), 1)
+            for i in range(max_width)
+        ]
+    return "".join(
+        _SHADES[min(int(round(u * (len(_SHADES) - 1))), len(_SHADES) - 1)]
+        for u in utils
+    )

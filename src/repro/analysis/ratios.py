@@ -1,0 +1,139 @@
+"""Empirical approximation-ratio measurement utilities."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional
+
+from ..core.bounds import makespan_lower_bound
+from ..core.instance import Instance
+from ..core.scheduler import schedule_srj
+from ..core.unit import schedule_unit
+
+
+@dataclass
+class RatioSample:
+    """One measured instance: algorithm vs. lower bound (or true OPT)."""
+
+    family: str
+    m: int
+    n: int
+    makespan: int
+    reference: int  # Eq.(1) lower bound or exact OPT
+    reference_kind: str  # "lb" or "opt"
+
+    @property
+    def ratio(self) -> float:
+        if self.reference == 0:
+            return 1.0
+        return self.makespan / self.reference
+
+
+def theoretical_ratio(m: int) -> float:
+    """Theorem 3.3: ``2 + 1/(m-2)`` for ``m ≥ 3`` (∞ below)."""
+    if m < 3:
+        return float("inf")
+    return 2.0 + 1.0 / (m - 2)
+
+
+def theoretical_unit_ratio(m: int) -> float:
+    """Unit-size asymptotic ratio ``1 + 1/(m-1)`` for ``m ≥ 2``."""
+    if m < 2:
+        return float("inf")
+    return 1.0 + 1.0 / (m - 1)
+
+
+def measure_srj(
+    instances: List[Instance],
+    family: str = "",
+    reference: Optional[Callable[[Instance], int]] = None,
+) -> List[RatioSample]:
+    """Run Listing 1 on each instance; compare to *reference* (default:
+    the Equation (1) lower bound)."""
+    samples = []
+    for inst in instances:
+        result = schedule_srj(inst)
+        if reference is None:
+            ref, kind = makespan_lower_bound(inst), "lb"
+        else:
+            ref, kind = reference(inst), "opt"
+        samples.append(
+            RatioSample(
+                family=family,
+                m=inst.m,
+                n=inst.n,
+                makespan=result.makespan,
+                reference=ref,
+                reference_kind=kind,
+            )
+        )
+    return samples
+
+
+def measure_unit(
+    instances: List[Instance], family: str = ""
+) -> List[RatioSample]:
+    """Run the unit-size algorithm; compare to the Equation (1) bound."""
+    samples = []
+    for inst in instances:
+        result = schedule_unit(inst)
+        samples.append(
+            RatioSample(
+                family=family,
+                m=inst.m,
+                n=inst.n,
+                makespan=result.makespan,
+                reference=makespan_lower_bound(inst),
+                reference_kind="lb",
+            )
+        )
+    return samples
+
+
+def adversarial_ratio_search(
+    m: int,
+    n: int,
+    rounds: int = 200,
+    seed: int = 0,
+    denominator: int = 48,
+) -> RatioSample:
+    """Random-restart local search for instances with a high empirical
+    ratio — probes the tightness of the ``2 + 1/(m-2)`` analysis (E1's
+    worst-case row).
+
+    Mutates requirement/size vectors, keeping the best ratio found.
+    """
+    rng = random.Random(seed)
+    reqs = [Fraction(rng.randint(1, denominator), denominator) for _ in range(n)]
+    sizes = [rng.randint(1, 4) for _ in range(n)]
+
+    def evaluate(rq, sz) -> RatioSample:
+        inst = Instance.from_requirements(m, rq, sz)
+        res = schedule_srj(inst)
+        return RatioSample(
+            family="adversarial",
+            m=m,
+            n=n,
+            makespan=res.makespan,
+            reference=makespan_lower_bound(inst),
+            reference_kind="lb",
+        )
+
+    best = evaluate(reqs, sizes)
+    best_vectors = (list(reqs), list(sizes))
+    for _ in range(rounds):
+        rq = list(best_vectors[0])
+        sz = list(best_vectors[1])
+        for _ in range(rng.randint(1, 3)):
+            i = rng.randrange(n)
+            if rng.random() < 0.7:
+                rq[i] = Fraction(rng.randint(1, denominator), denominator)
+            else:
+                sz[i] = rng.randint(1, 6)
+        cand = evaluate(rq, sz)
+        if cand.ratio > best.ratio:
+            best = cand
+            best_vectors = (rq, sz)
+    return best

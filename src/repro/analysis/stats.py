@@ -1,0 +1,96 @@
+"""Small statistics helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass
+class Summary:
+    """Summary statistics of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def of(cls, xs: Sequence[float]) -> "Summary":
+        if not xs:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        n = len(xs)
+        mean = sum(xs) / n
+        var = sum((x - mean) ** 2 for x in xs) / n
+        s = sorted(xs)
+        return cls(
+            n=n,
+            mean=mean,
+            std=math.sqrt(var),
+            minimum=s[0],
+            maximum=s[-1],
+            p50=percentile(s, 50.0),
+            p95=percentile(s, 95.0),
+        )
+
+
+def percentile(sorted_xs: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sample."""
+    if not sorted_xs:
+        raise ValueError("empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(sorted_xs) == 1:
+        return float(sorted_xs[0])
+    pos = (len(sorted_xs) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return float(sorted_xs[lo])
+    frac = pos - lo
+    return float(sorted_xs[lo]) * (1 - frac) + float(sorted_xs[hi]) * frac
+
+
+def mean_confidence_interval(
+    xs: Sequence[float], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """(mean, lo, hi) normal-approximation confidence interval."""
+    if not xs:
+        raise ValueError("empty sample")
+    n = len(xs)
+    mean = sum(xs) / n
+    if n == 1:
+        return mean, mean, mean
+    var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+    half = z * math.sqrt(var / n)
+    return mean, mean - half, mean + half
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares fit ``y = c·x^e`` in log space; returns ``(e, c)``.
+
+    Used by experiment E4 to estimate the empirical runtime exponent and
+    compare it against the ``O((m+n)·n)`` bound.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((a - mx) ** 2 for a in lx)
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    e = sxy / sxx
+    c = math.exp(my - e * mx)
+    return e, c

@@ -1,0 +1,73 @@
+"""Paper-style table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """A table of experiment results with provenance."""
+
+    id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        return render_table(
+            self.headers, self.rows, title=f"[{self.id}] {self.title}",
+            notes=self.notes,
+        )
+
+    def to_markdown(self) -> str:
+        head = "| " + " | ".join(self.headers) + " |"
+        sep = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = "\n".join(
+            "| " + " | ".join(_fmt(c) for c in row) + " |"
+            for row in self.rows
+        )
+        notes = "\n".join(f"> {n}" for n in self.notes)
+        return f"**[{self.id}] {self.title}**\n\n{head}\n{sep}\n{body}\n{notes}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(c.rjust(w) for c, w in zip(row, widths))
+        )
+    for note in notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Fixed-assignment substrate (Brinkmann et al., SPAA 2014 — ref [3]).
+
+The predecessor model: jobs pinned to processor queues, scheduler only
+splits the resource.  Experiment E10 quantifies what the SPAA-2017 paper
+gains by also choosing the assignment.
+"""
+
+from .model import (
+    AssignedInstance,
+    AssignedJob,
+    assigned_lower_bound,
+)
+from .exact import assigned_feasible_in, solve_assigned_exact
+from .scheduler import (
+    POLICIES,
+    AssignedResult,
+    schedule_assigned,
+)
+
+__all__ = [
+    "AssignedInstance",
+    "AssignedJob",
+    "assigned_lower_bound",
+    "schedule_assigned",
+    "AssignedResult",
+    "POLICIES",
+    "solve_assigned_exact",
+    "assigned_feasible_in",
+]

@@ -1,0 +1,132 @@
+"""The fixed-assignment model of Brinkmann et al. (SPAA 2014) — the paper's
+direct predecessor ([3] in its bibliography, Section 1.2).
+
+There, jobs are *already assigned* to processors and the per-processor
+execution order is fixed; the scheduler only distributes the shared resource
+among the ``m`` current head-of-queue jobs in each step.  The SPAA-2017
+paper removes the fixed-assignment restriction — its central open problem —
+so this substrate is what experiment E10 compares against to quantify the
+*value of assignment freedom*.
+
+The original work assumes jobs of equal computational size; we keep general
+sizes (the resource-accumulation view ``s_j = p_j · r_j`` works verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from ..core.instance import Instance
+from ..numeric import Number, ceil_div, ceil_frac, frac_sum, to_fraction
+
+
+@dataclass(frozen=True)
+class AssignedJob:
+    """A job pinned to a processor queue position."""
+
+    processor: int
+    position: int
+    size: int
+    requirement: Fraction
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("size must be >= 1")
+        req = to_fraction(self.requirement)
+        if req <= 0:
+            raise ValueError("requirement must be positive")
+        object.__setattr__(self, "requirement", req)
+
+    @property
+    def total_requirement(self) -> Fraction:
+        return self.size * self.requirement
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.processor, self.position)
+
+
+@dataclass(frozen=True)
+class AssignedInstance:
+    """``m`` processor queues of jobs with a fixed order."""
+
+    m: int
+    queues: tuple  # tuple of tuples of AssignedJob
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+        if len(self.queues) != self.m:
+            raise ValueError("need exactly one queue per processor")
+        for i, queue in enumerate(self.queues):
+            for k, job in enumerate(queue):
+                if job.processor != i or job.position != k:
+                    raise ValueError(
+                        f"job at queue {i} position {k} is mislabelled "
+                        f"({job.processor}, {job.position})"
+                    )
+
+    @classmethod
+    def create(
+        cls,
+        queues: Sequence[Sequence[Tuple[int, Number]]],
+    ) -> "AssignedInstance":
+        """Build from per-processor lists of ``(size, requirement)``."""
+        built = tuple(
+            tuple(
+                AssignedJob(
+                    processor=i,
+                    position=k,
+                    size=int(size),
+                    requirement=to_fraction(req),
+                )
+                for k, (size, req) in enumerate(queue)
+            )
+            for i, queue in enumerate(queues)
+        )
+        return cls(m=len(built), queues=built)
+
+    @property
+    def n(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def jobs(self) -> List[AssignedJob]:
+        return [job for queue in self.queues for job in queue]
+
+    def total_work(self) -> Fraction:
+        return frac_sum(job.total_requirement for job in self.jobs())
+
+    def to_free_instance(self) -> Instance:
+        """Forget the assignment: the same jobs as an SRJ instance (what
+        the SPAA-2017 algorithm schedules)."""
+        jobs = self.jobs()
+        return Instance.from_requirements(
+            self.m,
+            [j.requirement for j in jobs],
+            [j.size for j in jobs],
+        )
+
+
+def assigned_lower_bound(instance: AssignedInstance) -> int:
+    """Lower bounds for the fixed-assignment problem:
+
+    * resource: ``⌈Σ s_j⌉`` (as in Equation (1));
+    * chain: each processor must run its queue sequentially, and job ``j``
+      alone needs ``⌈s_j / min(r_j, 1)⌉`` steps, so
+      ``max_i Σ_{j ∈ queue i} ⌈s_j / min(r_j, 1)⌉`` is a lower bound —
+      this *chain bound* has no counterpart in the free-assignment model
+      and is exactly why fixed assignments can be much worse.
+    """
+    if instance.n == 0:
+        return 0
+    resource = ceil_frac(instance.total_work())
+    chain = max(
+        sum(
+            ceil_div(job.total_requirement, min(job.requirement, Fraction(1)))
+            for job in queue
+        )
+        for queue in instance.queues
+    )
+    return max(resource, chain)

@@ -1,0 +1,15 @@
+"""Baseline SRJ schedulers used for comparison in the benchmarks."""
+
+from .runners import (
+    BASELINES,
+    schedule_greedy_fill,
+    schedule_list_scheduling,
+    schedule_window_via_engine,
+)
+
+__all__ = [
+    "BASELINES",
+    "schedule_list_scheduling",
+    "schedule_greedy_fill",
+    "schedule_window_via_engine",
+]

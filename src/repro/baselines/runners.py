@@ -1,0 +1,39 @@
+"""Convenience runners for the SRJ baseline policies (experiment E9)."""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..simulator.engine import SimulationEngine, SimulationResult
+from ..simulator.policies import (
+    GreedyFillPolicy,
+    ListSchedulingPolicy,
+    SlidingWindowPolicy,
+)
+
+
+def schedule_list_scheduling(
+    instance: Instance, order: str = "input"
+) -> SimulationResult:
+    """Garey–Graham list scheduling (full-requirement allocations)."""
+    return SimulationEngine(
+        instance, ListSchedulingPolicy(order=order)
+    ).run()
+
+
+def schedule_greedy_fill(instance: Instance) -> SimulationResult:
+    """Largest-requirement-first greedy without splitting."""
+    return SimulationEngine(instance, GreedyFillPolicy()).run()
+
+
+def schedule_window_via_engine(instance: Instance) -> SimulationResult:
+    """The paper's algorithm run step-exactly through the engine — used to
+    cross-validate the optimized scheduler."""
+    return SimulationEngine(instance, SlidingWindowPolicy()).run()
+
+
+BASELINES = {
+    "list": schedule_list_scheduling,
+    "list_lpt": lambda inst: schedule_list_scheduling(inst, order="lpt"),
+    "list_spt": lambda inst: schedule_list_scheduling(inst, order="spt"),
+    "greedy_fill": schedule_greedy_fill,
+}

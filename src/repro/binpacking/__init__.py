@@ -1,0 +1,66 @@
+"""Bin packing with splittable items and cardinality constraints.
+
+Implements the problem of Chung et al. [4], the paper's Corollary 3.9
+algorithm (asymptotic ratio ``1 + 1/(k-1)``), classic baselines, lower
+bounds, and the reduction to/from unit-size SRJ.
+"""
+
+from .bounds import (
+    cardinality_lower_bound,
+    packing_lower_bound,
+    volume_lower_bound,
+)
+from .chains import (
+    coordination_cost,
+    is_chain_structured,
+    split_graph,
+    split_items,
+    split_statistics,
+)
+from .exact import packing_feasible_in, solve_packing_exact
+from .grouped import grouping_overhead, pack_grouped
+from .item import Item, make_items, total_size
+from .nextfit import (
+    pack_first_fit_unsplit,
+    pack_next_fit,
+    pack_next_fit_decreasing,
+    pack_next_fit_increasing,
+)
+from .packing import Bin, Packing, bins_sorted_by_load, max_parts_per_item, waste
+from .reduction import (
+    items_to_instance,
+    packing_guarantee,
+    result_to_packing,
+)
+from .sliding import pack_sliding_window
+
+__all__ = [
+    "Item",
+    "make_items",
+    "total_size",
+    "Bin",
+    "Packing",
+    "waste",
+    "max_parts_per_item",
+    "bins_sorted_by_load",
+    "pack_sliding_window",
+    "pack_grouped",
+    "grouping_overhead",
+    "solve_packing_exact",
+    "packing_feasible_in",
+    "split_graph",
+    "split_items",
+    "split_statistics",
+    "is_chain_structured",
+    "coordination_cost",
+    "pack_next_fit",
+    "pack_next_fit_decreasing",
+    "pack_next_fit_increasing",
+    "pack_first_fit_unsplit",
+    "packing_lower_bound",
+    "volume_lower_bound",
+    "cardinality_lower_bound",
+    "items_to_instance",
+    "result_to_packing",
+    "packing_guarantee",
+]

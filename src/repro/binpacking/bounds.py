@@ -1,0 +1,38 @@
+"""Lower bounds for bin packing with splittable items and cardinality k.
+
+Both bounds mirror Equation (1) of the paper under the Corollary 3.9
+equivalence (bins = time steps, items = unit jobs):
+
+* **volume**: every bin holds at most 1, so ``OPT ≥ ⌈Σ sizes⌉``;
+* **cardinality**: each of the ``n`` items occupies at least one part slot
+  and every item of size ``s`` needs at least ``⌈s⌉`` parts (a part is at
+  most 1); with ``k`` part slots per bin, ``OPT ≥ ⌈Σ_i max(1,⌈s_i⌉) / k⌉``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..numeric import ceil_div, ceil_frac
+from .item import Item, total_size
+
+
+def volume_lower_bound(items: Sequence[Item]) -> int:
+    """``⌈Σ sizes⌉``."""
+    return ceil_frac(total_size(items))
+
+
+def cardinality_lower_bound(items: Sequence[Item], k: int) -> int:
+    """``⌈(Σ_i ⌈s_i⌉) / k⌉`` — part-slot counting bound."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    parts = sum(max(1, ceil_frac(it.size)) for it in items)
+    return ceil_div(Fraction(parts), Fraction(k))
+
+
+def packing_lower_bound(items: Sequence[Item], k: int) -> int:
+    """``max`` of the two bounds."""
+    if not items:
+        return 0
+    return max(volume_lower_bound(items), cardinality_lower_bound(items, k))

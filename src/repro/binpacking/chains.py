@@ -1,0 +1,89 @@
+"""Split-structure analysis of packings.
+
+When items are split across bins, the *split graph* — bins as nodes, one
+edge per item with parts in two or more bins (a clique over its bins) —
+describes how entangled the packing is.  This matters in practice (each
+split routing table needs cross-bank coordination; cf. the tree-structured
+variant of König et al. discussed in the paper's related work) and in
+theory: the sliding-window packer only ever carries **one** fractured item
+from each bin into the next, so its split graph is a disjoint union of
+*paths* along consecutive bins.  That structural fact is implemented here
+and property-tested.
+
+Requires networkx (an installed dependency of the reproduction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .packing import Packing
+
+
+def split_items(packing: Packing) -> List[int]:
+    """Ids of items split across at least two bins."""
+    return [
+        it.id
+        for it in packing.items
+        if len(packing.parts_of(it.id)) >= 2
+    ]
+
+
+def split_graph(packing: Packing) -> nx.Graph:
+    """Bins as nodes; for each split item, a path over its bins in index
+    order (edges labelled with the item id)."""
+    g = nx.Graph()
+    g.add_nodes_from(range(packing.num_bins))
+    for item_id in split_items(packing):
+        bins = sorted(packing.parts_of(item_id))
+        for a, b in zip(bins, bins[1:]):
+            if g.has_edge(a, b):
+                g[a][b]["items"].append(item_id)
+            else:
+                g.add_edge(a, b, items=[item_id])
+    return g
+
+
+def is_chain_structured(packing: Packing) -> bool:
+    """True iff every split item spans *consecutive* bins and every bin
+    touches at most two split items (one carried in, one carried out) —
+    the signature of the sliding-window packer."""
+    touched: Dict[int, int] = {}
+    for item_id in split_items(packing):
+        bins = sorted(packing.parts_of(item_id))
+        if bins != list(range(bins[0], bins[-1] + 1)):
+            return False
+        for b in (bins[0], bins[-1]):
+            touched[b] = touched.get(b, 0) + 1
+        for b in bins[1:-1]:
+            touched[b] = touched.get(b, 0) + 2
+    return all(count <= 2 for count in touched.values())
+
+
+def split_statistics(packing: Packing) -> Dict[str, float]:
+    """Aggregate split metrics for analysis tables."""
+    g = split_graph(packing)
+    items_split = split_items(packing)
+    components = [
+        c for c in nx.connected_components(g) if len(c) >= 2
+    ]
+    return {
+        "bins": packing.num_bins,
+        "split_items": len(items_split),
+        "split_components": len(components),
+        "largest_component": max((len(c) for c in components), default=0),
+        "max_degree": max((d for _, d in g.degree()), default=0),
+        "is_chain": float(is_chain_structured(packing)),
+    }
+
+
+def coordination_cost(
+    packing: Packing, per_edge: float = 1.0
+) -> Tuple[int, float]:
+    """(number of split edges, weighted cost) — a proxy for the cross-bin
+    coordination overhead a deployment would pay per split."""
+    g = split_graph(packing)
+    edges = sum(len(data["items"]) for _, _, data in g.edges(data=True))
+    return edges, edges * per_edge

@@ -1,0 +1,45 @@
+"""Items for bin packing with splittable items and cardinality constraints.
+
+The problem (Chung, Graham, Mao, Varghese 2006; see Section 1.2 of the
+paper): pack ``n`` items of arbitrary positive size into as few unit-capacity
+bins as possible; items may be split across bins, but a bin may contain at
+most ``k`` (parts of) different items.
+
+Unit-size SRJ and this problem coincide up to preemption: bins = time steps,
+items = unit-size jobs (size = resource requirement), cardinality ``k`` =
+number of processors ``m`` (Corollary 3.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from ..numeric import Number, to_fraction
+
+
+@dataclass(frozen=True)
+class Item:
+    """A splittable item with a positive size (may exceed 1)."""
+
+    id: int
+    size: Fraction
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValueError("item id must be non-negative")
+        size = to_fraction(self.size)
+        if size <= 0:
+            raise ValueError(f"item size must be positive, got {size}")
+        object.__setattr__(self, "size", size)
+
+
+def make_items(sizes: Iterable[Number]) -> list[Item]:
+    """Build items 0..n-1 from a size sequence."""
+    return [Item(id=i, size=to_fraction(s)) for i, s in enumerate(sizes)]
+
+
+def total_size(items: Sequence[Item]) -> Fraction:
+    """Sum of all item sizes."""
+    return sum((it.size for it in items), Fraction(0))

@@ -1,0 +1,319 @@
+"""Command-line interface: ``repro-sched`` (or ``python -m repro``).
+
+Subcommands
+-----------
+* ``demo`` — schedule a small example instance and print the timeline;
+* ``srj`` — generate a workload family, run Listing 1, report ratio vs LB;
+* ``binpack`` — pack random splittable items, compare algorithms;
+* ``tasks`` — run the SRT scheduler on a generated task set;
+* ``experiment`` — run one of E1..E11 / F1..F3 (or ``all``), print tables;
+* ``generate`` — write a workload instance as JSON;
+* ``solve`` — read an instance JSON, schedule it (several algorithms),
+  optionally print an ASCII Gantt chart and save the schedule JSON;
+* ``validate`` — audit a schedule JSON against an instance JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from fractions import Fraction
+from typing import List, Optional
+
+from .analysis import ALL_EXPERIMENTS
+from .binpacking import (
+    make_items,
+    pack_next_fit,
+    pack_sliding_window,
+    packing_lower_bound,
+)
+from .core.bounds import makespan_lower_bound
+from .core.instance import Instance
+from .core.scheduler import schedule_srj
+from .tasks import schedule_tasks, srt_lower_bound
+from .workloads import make_instance, make_taskset, uniform_fractions
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    inst = Instance.from_requirements(
+        m=4,
+        requirements=[
+            Fraction(1, 5), Fraction(2, 5), Fraction(1, 2),
+            Fraction(7, 10), Fraction(6, 5),
+        ],
+        sizes=[3, 2, 1, 2, 4],
+    )
+    result = schedule_srj(inst)
+    print(f"instance: m={inst.m}, n={inst.n}")
+    print(f"lower bound (Eq. 1): {makespan_lower_bound(inst)}")
+    print(f"makespan:            {result.makespan}")
+    print("timeline (job: share per step):")
+    sched = result.schedule()
+    for t, step in enumerate(sched.steps, start=1):
+        cells = ", ".join(
+            f"j{p.job_id}@p{p.processor}:{p.share}" for p in step.pieces
+        )
+        print(f"  t={t:>2}  {cells}")
+    return 0
+
+
+def _cmd_srj(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    inst = make_instance(args.family, rng, args.m, args.n)
+    result = schedule_srj(inst)
+    lb = makespan_lower_bound(inst)
+    print(f"family={args.family} m={args.m} n={args.n} seed={args.seed}")
+    print(f"makespan={result.makespan}  LB={lb}  ratio={result.makespan/lb:.4f}")
+    print(f"guarantee: 2+1/(m-2) = {2 + 1/(args.m-2):.4f}"
+          if args.m >= 3 else "guarantee: n/a for m < 3")
+    print(f"steps with >=m-2 fully-served jobs: {result.steps_full_jobs}")
+    print(f"steps with full resource usage:    {result.steps_full_resource}")
+    return 0
+
+
+def _cmd_binpack(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    items = make_items(uniform_fractions(rng, args.n, hi=Fraction(6, 5)))
+    lb = packing_lower_bound(items, args.k)
+    sw = pack_sliding_window(items, args.k)
+    nf = pack_next_fit(items, args.k)
+    print(f"n={args.n} k={args.k} LB={lb}")
+    print(f"sliding window: {sw.num_bins} bins ({sw.num_bins/lb:.4f}x LB)")
+    print(f"next fit:       {nf.num_bins} bins ({nf.num_bins/lb:.4f}x LB)")
+    return 0
+
+
+def _cmd_tasks(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    ti = make_taskset(args.family, rng, args.m, args.k)
+    res = schedule_tasks(ti)
+    lb = srt_lower_bound(ti)
+    s = res.sum_completion_times()
+    print(f"family={args.family} m={args.m} tasks={args.k} jobs={ti.n_jobs}")
+    print(f"sum completion times={s}  LB={lb}  ratio={s/lb:.4f}")
+    if args.m >= 4:
+        print(f"guarantee factor: 2+4/(m-3) = {2 + 4/(args.m-3):.4f} (+o(1))")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = (
+        sorted(ALL_EXPERIMENTS) if args.id == "all" else [args.id.lower()]
+    )
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; have {sorted(ALL_EXPERIMENTS)}")
+            return 2
+        table = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        print(table.render())
+        print()
+        if args.csv:
+            from pathlib import Path
+
+            from .analysis import write_table_csv
+
+            out_dir = Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = write_table_csv(table, out_dir / f"{name}.csv")
+            print(f"(csv written to {path})")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .io import instance_to_json
+
+    rng = random.Random(args.seed)
+    inst = make_instance(args.family, rng, args.m, args.n)
+    text = instance_to_json(inst)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output} (m={inst.m}, n={inst.n})")
+    else:
+        print(text)
+    return 0
+
+
+_SOLVERS = {
+    "window": lambda inst: schedule_srj(inst),
+    "unit": None,  # handled specially (requires unit sizes)
+    "list": None,
+    "greedy": None,
+}
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .analysis import render_gantt
+    from .io import instance_from_json, schedule_to_json
+
+    with open(args.input) as fh:
+        inst = instance_from_json(fh.read())
+    if args.algorithm == "window":
+        result = schedule_srj(inst)
+        schedule = result.schedule(max_steps=args.max_steps)
+    elif args.algorithm == "unit":
+        from .core.unit import schedule_unit
+
+        result = schedule_unit(inst)
+        schedule = result.schedule(max_steps=args.max_steps)
+    elif args.algorithm == "list":
+        from .baselines import schedule_list_scheduling
+
+        sim = schedule_list_scheduling(inst)
+        schedule = sim.schedule
+    elif args.algorithm == "greedy":
+        from .baselines import schedule_greedy_fill
+
+        sim = schedule_greedy_fill(inst)
+        schedule = sim.schedule
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.algorithm)
+    lb = makespan_lower_bound(inst)
+    print(
+        f"algorithm={args.algorithm} makespan={schedule.makespan} LB={lb} "
+        f"ratio={schedule.makespan/lb:.4f}"
+    )
+    if args.gantt:
+        print(render_gantt(schedule))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(schedule_to_json(schedule) + "\n")
+        print(f"wrote schedule to {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .core.validate import validate_schedule
+    from .io import instance_from_json, schedule_from_json
+
+    with open(args.instance) as fh:
+        inst = instance_from_json(fh.read())
+    with open(args.schedule) as fh:
+        schedule = schedule_from_json(fh.read(), inst)
+    report = validate_schedule(schedule)
+    if report.ok:
+        print(f"OK: feasible schedule with makespan {report.makespan}")
+        return 0
+    print(f"INVALID: {len(report.violations)} violation(s)")
+    for v in report.violations[:50]:
+        print(f"  {v}")
+    return 1
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from .analysis.selftest import format_selftest, run_selftest
+
+    result = run_selftest(trials=args.trials, seed=args.seed)
+    print(format_selftest(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    generate_report(
+        output=args.output,
+        scale=args.scale,
+        seed=args.seed,
+        experiments=args.only,
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Multiprocessor scheduling with a sharable resource "
+        "(SPAA 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="schedule a toy instance, print timeline")
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("srj", help="run Listing 1 on a generated workload")
+    p.add_argument("--family", default="uniform")
+    p.add_argument("-m", type=int, default=8)
+    p.add_argument("-n", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_srj)
+
+    p = sub.add_parser("binpack", help="bin packing with splittable items")
+    p.add_argument("-k", type=int, default=4)
+    p.add_argument("-n", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_binpack)
+
+    p = sub.add_parser("tasks", help="run the SRT (Section 4) scheduler")
+    p.add_argument("--family", default="mixed")
+    p.add_argument("-m", type=int, default=8)
+    p.add_argument("-k", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_tasks)
+
+    p = sub.add_parser(
+        "experiment", help="run an experiment (e1..e11, f1..f3 | all)"
+    )
+    p.add_argument("id")
+    p.add_argument("--scale", choices=("small", "full"), default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--csv", default=None, metavar="DIR",
+                   help="also write each table as CSV into DIR")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("generate", help="write a workload instance as JSON")
+    p.add_argument("--family", default="uniform")
+    p.add_argument("-m", type=int, default=8)
+    p.add_argument("-n", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("solve", help="schedule an instance JSON file")
+    p.add_argument("--input", required=True)
+    p.add_argument(
+        "--algorithm",
+        choices=("window", "unit", "list", "greedy"),
+        default="window",
+    )
+    p.add_argument("--gantt", action="store_true")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "validate", help="audit a schedule JSON against an instance JSON"
+    )
+    p.add_argument("--instance", required=True)
+    p.add_argument("--schedule", required=True)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "selftest", help="quick internal consistency battery"
+    )
+    p.add_argument("--trials", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_selftest)
+
+    p = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (runs all experiments)"
+    )
+    p.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p.add_argument("--scale", choices=("small", "full"), default="full")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--only", nargs="*", default=None)
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

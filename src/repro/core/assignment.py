@@ -1,0 +1,194 @@
+"""Per-step resource assignment — Listing 1, lines 6-20 (Observation 3.2).
+
+Given the (m-1)-maximal window ``W`` for the current step, the assignment
+distinguishes two cases on ``F`` (the singleton set of the fractured job
+``ι``, or ∅):
+
+**Case 1 — ``r(W \\ F) ≥ R``.**  Every ``j ∈ W \\ (F ∪ {max W})`` receives
+its full requirement ``r_j``; ``ι`` receives its fractional remainder
+``q_ι(t-1)`` (which *unfractures* it); ``max W`` receives all remaining
+resource (possibly becoming the new fractured job).
+
+**Case 2 — ``r(W \\ F) < R``.**  Every ``j ∈ W \\ F`` receives ``r_j``; ``ι``
+receives ``min(R - r(W\\F), s_ι(t-1), r_ι)``.  If resource is left over
+(which implies ``ι`` finishes this step) and unprocessed jobs remain to the
+right of the window, the leftover is used to *start* ``min R_t(W)`` on the
+reserved ``m``-th processor, and that job joins the window.
+
+This module is pure: it computes the share vector and bookkeeping facts; the
+scheduler applies them to the state.  All shares are capped at
+``min(r_j, s_j(t-1))`` (the paper's w.l.o.g. normalization), so waste is
+explicit in the returned record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from ..numeric import frac_sum
+from .state import SchedulerState
+from .window import Window, right_neighbors
+
+
+@dataclass
+class StepAssignment:
+    """Result of one assignment computation."""
+
+    #: job id -> resource share for this step (all > 0)
+    shares: Dict[int, Fraction] = field(default_factory=dict)
+    #: which case of the algorithm fired ("case1" or "case2")
+    case: str = ""
+    #: the fractured job ι at the beginning of the step, if any
+    fractured_job: Optional[int] = None
+    #: job newly started on the reserved processor (Case 2 leftover), if any
+    extra_started: Optional[int] = None
+    #: resource not handed to any job (``R - Σ shares``)
+    waste: Fraction = Fraction(0)
+    #: jobs that received exactly their full requirement ``r_j``
+    fully_served: List[int] = field(default_factory=list)
+
+    def total(self) -> Fraction:
+        return frac_sum(self.shares.values())
+
+
+def _capped(state: SchedulerState, job_id: int, amount: Fraction) -> Fraction:
+    """Cap *amount* at ``min(r_j, s_j(t-1))``."""
+    return min(
+        amount,
+        state.instance.requirement(job_id),
+        state.remaining[job_id],
+    )
+
+
+def compute_assignment(
+    state: SchedulerState,
+    window: Window,
+    budget: Fraction,
+    universe: Optional[Sequence[int]] = None,
+    allow_extra_start: bool = True,
+    strict: bool = True,
+) -> StepAssignment:
+    """Compute the Listing-1 share vector for *window* under *budget*.
+
+    Parameters
+    ----------
+    state:
+        Current scheduler state (start of the time step).
+    window:
+        The maximal window computed for this step (sorted job ids).
+    budget:
+        Total resource available (``R``; the paper's base algorithm uses 1).
+    universe:
+        Eligible unfinished jobs (defaults to all unfinished); used to find
+        ``min R_t(W)`` for the reserved-processor start.
+    allow_extra_start:
+        Whether the Case-2 leftover may start ``min R_t(W)`` on the reserved
+        processor.  The unit-size variant disables this.
+    strict:
+        Enforce the at-most-one-fractured-job invariant (raise if broken).
+        Ablation modes that weaken the window machinery (e.g. disabling
+        MoveWindowRight, experiment E7) set this to False; surplus fractured
+        jobs are then served like ordinary jobs, capped at their remainder.
+    """
+    if universe is None:
+        universe = state.unfinished()
+    result = StepAssignment()
+    if not window:
+        result.waste = budget
+        return result
+
+    window = sorted(window)
+    fractured = [j for j in window if state.is_fractured(j)]
+    if len(fractured) > 1 and strict:
+        raise RuntimeError(
+            f"window invariant broken: {len(fractured)} fractured jobs "
+            f"({fractured}); the algorithm guarantees at most one"
+        )
+    iota = fractured[0] if fractured else None
+    result.fractured_job = iota
+    max_w = window[-1]
+
+    r_w_minus_f = frac_sum(
+        state.instance.requirement(j) for j in window if j != iota
+    )
+
+    if r_w_minus_f >= budget:
+        # ------------------------------- Case 1 -------------------------
+        result.case = "case1"
+        if iota == max_w:
+            if strict:
+                raise RuntimeError(
+                    "Case 1 with fractured max W contradicts window "
+                    "property (b)"
+                )
+            # tolerant mode: demote ι, serve max W with the remainder
+            iota = None
+            result.fractured_job = None
+            r_w_minus_f = frac_sum(
+                state.instance.requirement(j) for j in window
+            )
+        used = Fraction(0)
+        for j in window:
+            if j == iota or j == max_w:
+                continue
+            share = _capped(state, j, state.instance.requirement(j))
+            result.shares[j] = share
+            if share == state.instance.requirement(j):
+                result.fully_served.append(j)
+            used += share
+        if iota is not None:
+            q = state.fractured_remainder(iota)
+            share = _capped(state, iota, q)
+            if share > 0:
+                result.shares[iota] = share
+            used += share
+        remaining = budget - used
+        if remaining < 0:
+            raise RuntimeError("resource overuse in Case 1 assignment")
+        share = _capped(state, max_w, remaining)
+        if share > 0:
+            result.shares[max_w] = share
+            if share == state.instance.requirement(max_w):
+                result.fully_served.append(max_w)
+        result.waste = budget - used - share
+    else:
+        # ------------------------------- Case 2 -------------------------
+        result.case = "case2"
+        used = Fraction(0)
+        for j in window:
+            if j == iota:
+                continue
+            share = _capped(state, j, state.instance.requirement(j))
+            result.shares[j] = share
+            if share == state.instance.requirement(j):
+                result.fully_served.append(j)
+            used += share
+        leftover = budget - used
+        iota_finishing = iota is None
+        if iota is not None:
+            share = _capped(state, iota, leftover)
+            if share > 0:
+                result.shares[iota] = share
+            iota_finishing = share == state.remaining[iota]
+            leftover -= share
+        # The reserved-processor start must not create a second fractured
+        # job: it is only taken when no fractured job survives this step.
+        # With maximal windows (the offline algorithm) leftover > 0 already
+        # implies ι finishes; windows that lost maximality (e.g. under
+        # online arrivals, repro.online) need the explicit check.
+        if leftover > 0 and allow_extra_start and iota_finishing:
+            right = right_neighbors(universe, window)
+            if right:
+                new_job = right[0]
+                share = _capped(state, new_job, leftover)
+                if share > 0:
+                    result.shares[new_job] = share
+                    result.extra_started = new_job
+                    if share == state.instance.requirement(new_job):
+                        result.fully_served.append(new_job)
+                    leftover -= share
+        result.waste = leftover
+
+    return result

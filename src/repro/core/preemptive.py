@@ -1,0 +1,114 @@
+"""Preemptive relaxation of SRJ.
+
+The paper notes (below Equation (1) and in Corollary 3.9) that its lower
+bounds remain valid when preemption and migration are allowed, and that
+allowing preemption can only help.  This module provides the relaxed
+scheduler used by experiment E11 to measure the *price of non-preemption*
+empirically:
+
+* every step is planned from scratch — jobs may pause and resume, and hop
+  processors freely;
+* the per-step plan is the same greedy shape as the paper's window: serve
+  jobs in non-decreasing requirement order, each up to
+  ``min(r_j, s_j(t-1))``, until the resource budget or the ``m`` processor
+  slots run out (optionally one final partial share).
+
+Relations that must hold (and are asserted by the test suite)::
+
+    Eq.(1) LB  <=  preemptive makespan  <=  non-preemptive algorithm + O(1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List
+
+from ..numeric import frac_sum
+from .bounds import makespan_lower_bound
+from .instance import Instance
+
+
+@dataclass
+class PreemptiveResult:
+    """Outcome of a preemptive run."""
+
+    makespan: int
+    completion_times: Dict[int, int]
+    utilization: List[Fraction] = field(default_factory=list)
+
+    def total_waste(self) -> Fraction:
+        return frac_sum(Fraction(1) - u for u in self.utilization)
+
+
+def schedule_preemptive(
+    instance: Instance,
+    budget: Fraction = Fraction(1),
+    max_steps: int = 10_000_000,
+) -> PreemptiveResult:
+    """Greedy smallest-requirement-first preemptive scheduler."""
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    remaining: Dict[int, Fraction] = {
+        job.id: job.total_requirement for job in instance.jobs
+    }
+    alive = [job.id for job in instance.jobs]  # canonical = sorted by r
+    completion: Dict[int, int] = {}
+    utilization: List[Fraction] = []
+    t = 0
+    while alive:
+        t += 1
+        if t > max_steps:
+            raise RuntimeError("preemptive scheduler exceeded max_steps")
+        left = budget
+        slots = instance.m
+        used = Fraction(0)
+        finished: List[int] = []
+        for job_id in alive:
+            if slots <= 0 or left <= 0:
+                break
+            share = min(
+                instance.requirement(job_id), remaining[job_id], left
+            )
+            if share <= 0:
+                continue
+            remaining[job_id] -= share
+            left -= share
+            used += share
+            slots -= 1
+            if remaining[job_id] <= 0:
+                finished.append(job_id)
+        utilization.append(used)
+        if used <= 0:
+            raise RuntimeError("preemptive scheduler made no progress")
+        if finished:
+            done = set(finished)
+            alive = [j for j in alive if j not in done]
+            for j in finished:
+                completion[j] = t
+    return PreemptiveResult(
+        makespan=t, completion_times=completion, utilization=utilization
+    )
+
+
+def price_of_nonpreemption(instance: Instance) -> Fraction:
+    """Ratio (non-preemptive algorithm makespan) / (preemptive makespan).
+
+    Both are upper bounds on their respective optima, so this measures the
+    empirical gap between the two settings under comparable algorithms.
+    """
+    from .scheduler import schedule_srj
+
+    if instance.n == 0:
+        return Fraction(1)
+    non = schedule_srj(instance).makespan
+    pre = schedule_preemptive(instance).makespan
+    return Fraction(non, pre)
+
+
+def preemptive_gap_to_lower_bound(instance: Instance) -> Fraction:
+    """(preemptive makespan) / Eq.(1) LB — how tight the relaxation is."""
+    if instance.n == 0:
+        return Fraction(1)
+    pre = schedule_preemptive(instance).makespan
+    return Fraction(pre, makespan_lower_bound(instance))

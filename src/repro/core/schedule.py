@@ -1,0 +1,178 @@
+"""Schedule representation for SRJ.
+
+A :class:`Schedule` is a sequence of time steps; each step records which jobs
+ran, on which processor, and with which resource share.  Time steps are
+1-indexed to match the paper (``t ∈ ℕ``, ``t = 1`` is the first step), but
+stored in a 0-indexed list internally.
+
+Construction is incremental via :meth:`Schedule.append_step`; feasibility is
+checked separately by :mod:`repro.core.validate` so that invalid schedules
+produced by buggy or adversarial policies can be constructed and then
+diagnosed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from ..numeric import frac_sum
+from .instance import Instance
+from .job import JobPiece
+
+
+@dataclass
+class Step:
+    """One time step of a schedule: the set of job pieces executed."""
+
+    pieces: List[JobPiece] = field(default_factory=list)
+
+    def job_ids(self) -> list[int]:
+        """Ids of jobs processed in this step."""
+        return [p.job_id for p in self.pieces]
+
+    def share_of(self, job_id: int) -> Fraction:
+        """Resource share given to *job_id* this step (0 if absent)."""
+        for p in self.pieces:
+            if p.job_id == job_id:
+                return p.share
+        return Fraction(0)
+
+    def processor_of(self, job_id: int) -> Optional[int]:
+        """Processor running *job_id* this step, or None."""
+        for p in self.pieces:
+            if p.job_id == job_id:
+                return p.processor
+        return None
+
+    def total_share(self) -> Fraction:
+        """Total resource consumed this step."""
+        return frac_sum(p.share for p in self.pieces)
+
+
+@dataclass
+class Schedule:
+    """A complete (or partial) schedule for an :class:`Instance`."""
+
+    instance: Instance
+    steps: List[Step] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append_step(self, pieces: Mapping[int, tuple[int, Fraction]]) -> None:
+        """Append a time step.
+
+        Parameters
+        ----------
+        pieces:
+            Mapping ``job_id -> (processor, share)``.
+        """
+        step = Step(
+            pieces=[
+                JobPiece(job_id=j, processor=proc, share=share)
+                for j, (proc, share) in sorted(pieces.items())
+            ]
+        )
+        self.steps.append(step)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def makespan(self) -> int:
+        """``|S|`` — number of time steps."""
+        return len(self.steps)
+
+    def received(self, job_id: int) -> Fraction:
+        """Total resource delivered to *job_id* over all steps.
+
+        Shares are capped at ``r_j`` per step (excess is waste, per the
+        model: a job cannot use more than its requirement).
+        """
+        r = self.instance.requirement(job_id)
+        return frac_sum(min(step.share_of(job_id), r) for step in self.steps)
+
+    def progress(self, job_id: int) -> Fraction:
+        """Volume of *job_id* finished: ``Σ_t min(share/r_j, 1)``."""
+        r = self.instance.requirement(job_id)
+        return frac_sum(
+            min(step.share_of(job_id) / r, Fraction(1))
+            for step in self.steps
+            if step.share_of(job_id) > 0
+        )
+
+    def completion_time(self, job_id: int) -> Optional[int]:
+        """First step (1-indexed) after which *job_id* has received ``s_j``.
+
+        Returns None if the job never finishes in this schedule.
+        """
+        target = self.instance.total_requirement(job_id)
+        r = self.instance.requirement(job_id)
+        acc = Fraction(0)
+        for t, step in enumerate(self.steps, start=1):
+            acc += min(step.share_of(job_id), r)
+            if acc >= target:
+                return t
+        return None
+
+    def start_time(self, job_id: int) -> Optional[int]:
+        """First step (1-indexed) in which *job_id* receives resource."""
+        for t, step in enumerate(self.steps, start=1):
+            if step.share_of(job_id) > 0:
+                return t
+        return None
+
+    def active_steps(self, job_id: int) -> list[int]:
+        """All steps (1-indexed) in which *job_id* is scheduled."""
+        return [
+            t
+            for t, step in enumerate(self.steps, start=1)
+            if step.processor_of(job_id) is not None
+        ]
+
+    def processor_history(self, job_id: int) -> list[int]:
+        """Processors used by *job_id* over its active steps."""
+        out = []
+        for step in self.steps:
+            proc = step.processor_of(job_id)
+            if proc is not None:
+                out.append(proc)
+        return out
+
+    def utilization(self) -> list[Fraction]:
+        """Per-step total resource consumption."""
+        return [step.total_share() for step in self.steps]
+
+    def jobs_per_step(self) -> list[int]:
+        """Per-step count of scheduled jobs."""
+        return [len(step.pieces) for step in self.steps]
+
+    def completion_times(self) -> Dict[int, Optional[int]]:
+        """Completion time of every job (vectorized single pass)."""
+        remaining = {
+            j.id: j.total_requirement for j in self.instance.jobs
+        }
+        done: Dict[int, Optional[int]] = {j.id: None for j in self.instance.jobs}
+        for t, step in enumerate(self.steps, start=1):
+            for piece in step.pieces:
+                jid = piece.job_id
+                if done[jid] is not None:
+                    continue
+                r = self.instance.requirement(jid)
+                remaining[jid] -= min(piece.share, r)
+                if remaining[jid] <= 0:
+                    done[jid] = t
+        return done
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule(m={self.instance.m}, n={self.instance.n}, |S|={self.makespan})"

@@ -1,0 +1,145 @@
+"""Full feasibility validation of SRJ schedules against the model rules.
+
+The validator re-checks, from first principles (Section 1.1 of the paper):
+
+* the resource is never overused: ``Σ_i R_i(t) ≤ 1`` for every step;
+* at most ``m`` jobs run per step, on pairwise distinct processors;
+* no job receives more than ``r_j`` in a step (shares beyond ``r_j`` would
+  be silently wasted by the model; our schedulers never emit them);
+* non-preemption: each job's active steps form one contiguous interval;
+* no migration: each job uses a single processor throughout;
+* completion: every job accumulates its full ``s_j``;
+* no processing beyond completion.
+
+:func:`validate_schedule` returns a :class:`ValidationReport`;
+:func:`assert_valid` raises ``ScheduleError`` with all violations listed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List
+
+from .schedule import Schedule
+
+
+class ScheduleError(AssertionError):
+    """Raised by :func:`assert_valid` on an infeasible schedule."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of schedule validation."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    makespan: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_schedule(
+    schedule: Schedule,
+    budget: Fraction = Fraction(1),
+    require_all_finished: bool = True,
+) -> ValidationReport:
+    """Check *schedule* against every model rule; collect all violations."""
+    inst = schedule.instance
+    violations: List[str] = []
+
+    received: Dict[int, Fraction] = {j.id: Fraction(0) for j in inst.jobs}
+    finished_at: Dict[int, int] = {}
+    active_steps: Dict[int, List[int]] = {j.id: [] for j in inst.jobs}
+    processors_used: Dict[int, set] = {j.id: set() for j in inst.jobs}
+
+    for t, step in enumerate(schedule.steps, start=1):
+        total = Fraction(0)
+        procs_this_step = set()
+        jobs_this_step = set()
+        for piece in step.pieces:
+            jid = piece.job_id
+            if jid not in received:
+                violations.append(f"step {t}: unknown job id {jid}")
+                continue
+            if jid in jobs_this_step:
+                violations.append(f"step {t}: job {jid} scheduled twice")
+            jobs_this_step.add(jid)
+            if piece.processor in procs_this_step:
+                violations.append(
+                    f"step {t}: processor {piece.processor} runs two jobs"
+                )
+            procs_this_step.add(piece.processor)
+            if piece.processor >= inst.m:
+                violations.append(
+                    f"step {t}: processor {piece.processor} out of range "
+                    f"(m={inst.m})"
+                )
+            r = inst.requirement(jid)
+            if piece.share > r:
+                violations.append(
+                    f"step {t}: job {jid} share {piece.share} exceeds r_j={r}"
+                )
+            if piece.share < 0:
+                violations.append(f"step {t}: job {jid} negative share")
+            if jid in finished_at:
+                violations.append(
+                    f"step {t}: job {jid} processed after finishing at "
+                    f"step {finished_at[jid]}"
+                )
+            total += piece.share
+            active_steps[jid].append(t)
+            processors_used[jid].add(piece.processor)
+            received[jid] += min(piece.share, r)
+            if (
+                jid not in finished_at
+                and received[jid] >= inst.total_requirement(jid)
+            ):
+                finished_at[jid] = t
+        if len(jobs_this_step) > inst.m:
+            violations.append(
+                f"step {t}: {len(jobs_this_step)} jobs exceed m={inst.m}"
+            )
+        if total > budget:
+            violations.append(
+                f"step {t}: resource overused ({total} > {budget})"
+            )
+
+    for job in inst.jobs:
+        steps = active_steps[job.id]
+        if steps:
+            lo, hi = steps[0], steps[-1]
+            if steps != list(range(lo, hi + 1)):
+                violations.append(
+                    f"job {job.id}: preempted (active steps {steps})"
+                )
+            if len(processors_used[job.id]) > 1:
+                violations.append(
+                    f"job {job.id}: migrated across processors "
+                    f"{sorted(processors_used[job.id])}"
+                )
+        if require_all_finished:
+            if received[job.id] < job.total_requirement:
+                violations.append(
+                    f"job {job.id}: unfinished "
+                    f"({received[job.id]} / {job.total_requirement})"
+                )
+
+    return ValidationReport(
+        ok=not violations, violations=violations, makespan=schedule.makespan
+    )
+
+
+def assert_valid(
+    schedule: Schedule,
+    budget: Fraction = Fraction(1),
+    require_all_finished: bool = True,
+) -> None:
+    """Raise :class:`ScheduleError` listing every violation, if any."""
+    report = validate_schedule(schedule, budget, require_all_finished)
+    if not report.ok:
+        raise ScheduleError(
+            f"{len(report.violations)} violation(s):\n  "
+            + "\n  ".join(report.violations)
+        )

@@ -1,0 +1,20 @@
+"""Exact solvers for small SRJ instances (experiment E6)."""
+
+from .bruteforce import feasible_in_bruteforce, solve_exact_bruteforce
+from .extract import color_intervals, extract_schedule, solve_exact_schedule
+from .flow import MaxFlow, restore_shares
+from .milp import ExactResult, ExactSolverError, feasible_in, solve_exact
+
+__all__ = [
+    "solve_exact",
+    "feasible_in",
+    "ExactResult",
+    "ExactSolverError",
+    "solve_exact_bruteforce",
+    "feasible_in_bruteforce",
+    "solve_exact_schedule",
+    "extract_schedule",
+    "color_intervals",
+    "MaxFlow",
+    "restore_shares",
+]

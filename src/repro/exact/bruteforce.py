@@ -1,0 +1,114 @@
+"""Brute-force exact solver for *unit-size* SRJ — an MILP cross-check.
+
+Enumerates, for every job, the contiguous occupancy interval (start step and
+length); prunes by per-step concurrency ≤ m; then checks resource
+feasibility of the interval assignment with a small LP (shares
+``x[j,t] ∈ [0, min(r_j, 1)]`` on the job's interval, ``Σ_t x = s_j``,
+``Σ_j x[·,t] ≤ 1``).  Exponential in n — use only for n ≤ ~7, T ≤ ~6.
+
+The search also certifies optimality of the MILP answer in the test suite
+(`tests/test_exact.py`), guarding both implementations against each other.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core.bounds import makespan_lower_bound
+from ..core.instance import Instance
+from ..numeric import ceil_div
+
+
+def _lp_feasible(
+    instance: Instance, intervals: List[Tuple[int, int]], horizon: int
+) -> bool:
+    """LP feasibility of a fixed interval assignment.
+
+    intervals[j] = (start, length) with steps start..start+length-1.
+    """
+    n = instance.n
+    var_index = {}
+    for j, (start, length) in enumerate(intervals):
+        for t in range(start, start + length):
+            var_index[(j, t)] = len(var_index)
+    nv = len(var_index)
+    if nv == 0:
+        return n == 0
+    # equality: per-job total = s_j
+    a_eq = np.zeros((n, nv))
+    b_eq = np.zeros(n)
+    for j, (start, length) in enumerate(intervals):
+        for t in range(start, start + length):
+            a_eq[j, var_index[(j, t)]] = 1.0
+        b_eq[j] = float(instance.jobs[j].total_requirement)
+    # inequality: per-step total <= 1
+    a_ub = np.zeros((horizon, nv))
+    for (j, t), v in var_index.items():
+        a_ub[t, v] = 1.0
+    b_ub = np.ones(horizon) + 1e-9
+    bounds = []
+    order = sorted(var_index.items(), key=lambda kv: kv[1])
+    for (j, _t), _v in order:
+        bounds.append((0.0, float(min(instance.jobs[j].requirement, 1))))
+    res = linprog(
+        c=np.zeros(nv),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    return bool(res.status == 0)
+
+
+def feasible_in_bruteforce(instance: Instance, horizon: int) -> bool:
+    """Exhaustive interval enumeration + LP check."""
+    n, m = instance.n, instance.m
+    if n == 0:
+        return True
+    min_lengths = [
+        ceil_div(job.total_requirement, min(job.requirement, 1))
+        for job in instance.jobs
+    ]
+    if any(L > horizon for L in min_lengths):
+        return False
+
+    occupancy = [0] * horizon
+    intervals: List[Optional[Tuple[int, int]]] = [None] * n
+
+    def place(j: int) -> bool:
+        if j == n:
+            return _lp_feasible(instance, intervals, horizon)  # type: ignore[arg-type]
+        for length in range(min_lengths[j], horizon + 1):
+            for start in range(0, horizon - length + 1):
+                span = range(start, start + length)
+                if all(occupancy[t] < m for t in span):
+                    for t in span:
+                        occupancy[t] += 1
+                    intervals[j] = (start, length)
+                    if place(j + 1):
+                        return True
+                    for t in span:
+                        occupancy[t] -= 1
+                    intervals[j] = None
+        return False
+
+    return place(0)
+
+
+def solve_exact_bruteforce(instance: Instance, max_horizon: int = 8) -> int:
+    """Optimal makespan by scanning horizons with the brute-force check."""
+    lb = makespan_lower_bound(instance)
+    if instance.n == 0:
+        return 0
+    for T in range(lb, max_horizon + 1):
+        if feasible_in_bruteforce(instance, T):
+            return T
+    raise RuntimeError(
+        f"no feasible horizon found up to {max_horizon}; instance too large "
+        "for brute force"
+    )

@@ -1,0 +1,45 @@
+"""Extensions beyond the paper: weighted objectives, nonlinear response.
+
+These implement the natural next steps the paper's model invites (it calls
+its linear efficiency model "a first step towards such a scalable resource
+model"); no approximation guarantees are claimed — experiments E12/E13
+measure the empirical behavior.
+"""
+
+from .nonlinear import (
+    NLJob,
+    NLResult,
+    RESPONSES,
+    linear_response,
+    make_power_response,
+    make_threshold_response,
+    nonlinear_lower_bound,
+    simulate_nonlinear,
+)
+from .weighted import (
+    random_weights,
+    schedule_tasks_weight_oblivious,
+    schedule_tasks_weighted,
+    weighted_count_lower_bound,
+    weighted_resource_lower_bound,
+    weighted_srt_lower_bound,
+    weighted_sum,
+)
+
+__all__ = [
+    "schedule_tasks_weighted",
+    "schedule_tasks_weight_oblivious",
+    "weighted_srt_lower_bound",
+    "weighted_resource_lower_bound",
+    "weighted_count_lower_bound",
+    "weighted_sum",
+    "random_weights",
+    "NLJob",
+    "NLResult",
+    "RESPONSES",
+    "linear_response",
+    "make_power_response",
+    "make_threshold_response",
+    "simulate_nonlinear",
+    "nonlinear_lower_bound",
+]

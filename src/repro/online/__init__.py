@@ -1,0 +1,24 @@
+"""Online SRJ — jobs with release times (extension beyond the paper)."""
+
+from .model import (
+    OnlineInstance,
+    OnlineJob,
+    online_lower_bound,
+)
+from .scheduler import (
+    OnlineResult,
+    schedule_online,
+    schedule_online_list,
+)
+from .workload import burst_instance, poisson_like_instance
+
+__all__ = [
+    "OnlineInstance",
+    "OnlineJob",
+    "online_lower_bound",
+    "schedule_online",
+    "schedule_online_list",
+    "OnlineResult",
+    "poisson_like_instance",
+    "burst_instance",
+]

@@ -1,0 +1,127 @@
+"""Online SRJ — jobs arrive over time (extension beyond the paper).
+
+The paper's model is offline: all jobs are known at time 0.  The natural
+deployment scenario has jobs *released* over time; the scheduler sees a
+job's size and requirement on arrival and must act without knowledge of
+future arrivals (non-clairvoyant about the future, clairvoyant about the
+present — the standard online-scheduling setting).
+
+This module defines the arrival model and the offline-clairvoyant lower
+bounds used to measure empirical competitive ratios (experiment E15):
+
+* the Equation (1) bound on the full job set (valid for the offline
+  optimum, hence for any online algorithm's comparison point), and
+* the release bound ``max_j (release_j + ⌈s_j / min(r_j, 1)⌉)`` — no
+  schedule can finish job ``j`` before its release plus its solo time;
+* the *suffix load* bound: work released at or after time ``t`` cannot
+  start before ``t``, so ``OPT ≥ t + ⌈Σ_{release_j ≥ t} s_j⌉`` for every
+  release time ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+from ..core.instance import Instance
+from ..core.job import Job
+from ..numeric import Number, ceil_div, ceil_frac, frac_sum, to_fraction
+
+
+@dataclass(frozen=True)
+class OnlineJob:
+    """A job with a release step (the first step it may be processed)."""
+
+    id: int
+    release: int
+    size: int
+    requirement: Fraction
+
+    def __post_init__(self) -> None:
+        if self.release < 1:
+            raise ValueError("release steps are 1-indexed (>= 1)")
+        if self.size < 1:
+            raise ValueError("size must be >= 1")
+        req = to_fraction(self.requirement)
+        if req <= 0:
+            raise ValueError("requirement must be positive")
+        object.__setattr__(self, "requirement", req)
+
+    @property
+    def total_requirement(self) -> Fraction:
+        return self.size * self.requirement
+
+    @property
+    def solo_steps(self) -> int:
+        return ceil_div(
+            self.total_requirement, min(self.requirement, Fraction(1))
+        )
+
+
+@dataclass(frozen=True)
+class OnlineInstance:
+    """m processors plus release-stamped jobs (sorted by release, id)."""
+
+    m: int
+    jobs: tuple
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError("m must be >= 1")
+        ids = [j.id for j in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids")
+
+    @classmethod
+    def create(
+        cls,
+        m: int,
+        entries: Sequence[Tuple[int, int, Number]],
+    ) -> "OnlineInstance":
+        """Build from ``(release, size, requirement)`` triples."""
+        jobs = tuple(
+            OnlineJob(
+                id=i, release=int(rel), size=int(size),
+                requirement=to_fraction(req),
+            )
+            for i, (rel, size, req) in enumerate(entries)
+        )
+        ordered = tuple(sorted(jobs, key=lambda j: (j.release, j.id)))
+        return cls(m=m, jobs=ordered)
+
+    @property
+    def n(self) -> int:
+        return len(self.jobs)
+
+    def released_by(self, t: int) -> List[OnlineJob]:
+        """Jobs with release ≤ t."""
+        return [j for j in self.jobs if j.release <= t]
+
+    def to_offline(self) -> Instance:
+        """Drop the release times (the clairvoyant relaxation)."""
+        return Instance.create(
+            self.m,
+            [
+                Job(id=j.id, size=j.size, requirement=j.requirement)
+                for j in self.jobs
+            ],
+        )
+
+
+def online_lower_bound(instance: OnlineInstance) -> int:
+    """Offline-clairvoyant lower bound (see module docstring)."""
+    if instance.n == 0:
+        return 0
+    from ..core.bounds import makespan_lower_bound
+
+    offline = makespan_lower_bound(instance.to_offline())
+    release = max(j.release - 1 + j.solo_steps for j in instance.jobs)
+    suffix = 0
+    releases = sorted({j.release for j in instance.jobs})
+    for t in releases:
+        load = frac_sum(
+            j.total_requirement for j in instance.jobs if j.release >= t
+        )
+        suffix = max(suffix, t - 1 + ceil_frac(load))
+    return max(offline, release, suffix)

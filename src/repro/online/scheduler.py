@@ -1,0 +1,135 @@
+"""Online sliding-window scheduler (arrival-aware Listing 1).
+
+Per step ``t`` the scheduler applies the Section-3 machinery to the
+*released and unfinished* jobs only: the window is recomputed over that
+universe (new arrivals may appear on either side of the carried window —
+``GrowWindowLeft`` re-admits small newcomers, property (d) keeps started
+jobs in place), and the Case-1/Case-2 assignment is unchanged.  The
+one-fractured-job discipline is preserved: arrivals enter unfractured and
+the assignment logic never creates a second fracture.
+
+No competitive guarantee is claimed (the paper is offline); experiment E15
+measures empirical competitive ratios against the offline-clairvoyant
+lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List
+
+from ..core.assignment import compute_assignment
+from ..core.state import SchedulerState
+from ..core.window import compute_window
+from .model import OnlineInstance
+
+
+@dataclass
+class OnlineResult:
+    """Outcome of an online run (job ids are the OnlineInstance's)."""
+
+    makespan: int
+    completion_times: Dict[int, int] = field(default_factory=dict)
+    #: per-step resource utilization
+    utilization: List[Fraction] = field(default_factory=list)
+
+
+def schedule_online(
+    instance: OnlineInstance, max_steps: int = 1_000_000
+) -> OnlineResult:
+    """Run the arrival-aware window algorithm to completion."""
+    offline = instance.to_offline()
+    # canonical id -> online id (original_ids stores the OnlineJob ids)
+    online_id_of = dict(enumerate(offline.original_ids))
+    by_online_id = {j.id: j for j in instance.jobs}
+    release_of = {
+        canonical: by_online_id[online_id].release
+        for canonical, online_id in online_id_of.items()
+    }
+    state = SchedulerState(offline)
+    size = max(instance.m - 1, 1)
+    budget = Fraction(1)
+    window: List[int] = []
+    result = OnlineResult(makespan=0)
+    t = 0
+    while state.n_unfinished() > 0:
+        t += 1
+        if t > max_steps:
+            raise RuntimeError("online scheduler exceeded max_steps")
+        universe = [
+            j for j in state.unfinished() if release_of[j] <= t
+        ]
+        if not universe:
+            # idle step: nothing released yet
+            result.utilization.append(Fraction(0))
+            continue
+        window = compute_window(
+            state, window, size, budget, universe=universe
+        )
+        assignment = compute_assignment(
+            state, window, budget, universe=universe
+        )
+        finished = state.apply_step(assignment.shares)
+        if assignment.extra_started is not None:
+            window = sorted(set(window) | {assignment.extra_started})
+        result.utilization.append(assignment.total())
+        for j in finished:
+            result.completion_times[online_id_of[j]] = t
+    result.makespan = t
+    return result
+
+
+def schedule_online_list(
+    instance: OnlineInstance, max_steps: int = 1_000_000
+) -> OnlineResult:
+    """Online list-scheduling baseline: full allocations only, FIFO by
+    release (ties by requirement)."""
+    offline = instance.to_offline()
+    online_id_of = dict(enumerate(offline.original_ids))
+    by_online_id = {j.id: j for j in instance.jobs}
+    release_of = {
+        canonical: by_online_id[online_id].release
+        for canonical, online_id in online_id_of.items()
+    }
+    state = SchedulerState(offline)
+    result = OnlineResult(makespan=0)
+    t = 0
+    while state.n_unfinished() > 0:
+        t += 1
+        if t > max_steps:
+            raise RuntimeError("online list scheduler exceeded max_steps")
+        shares: Dict[int, Fraction] = {}
+        used = Fraction(0)
+        slots = instance.m
+        for job_id in state.started_jobs():
+            full = min(
+                offline.requirement(job_id), Fraction(1),
+                state.remaining[job_id],
+            )
+            shares[job_id] = full
+            used += full
+            slots -= 1
+        fresh = sorted(
+            (
+                j for j in state.unfinished()
+                if not state.is_started(j) and release_of[j] <= t
+            ),
+            key=lambda j: (release_of[j], offline.requirement(j), j),
+        )
+        for job_id in fresh:
+            if slots <= 0:
+                break
+            full = min(offline.requirement(job_id), Fraction(1))
+            if used + full <= 1:
+                shares[job_id] = min(full, state.remaining[job_id])
+                used += shares[job_id]
+                slots -= 1
+        finished = state.apply_step(shares) if shares else []
+        if not shares:
+            state.t += 0  # idle step (nothing released fits)
+        result.utilization.append(used)
+        for j in finished:
+            result.completion_times[online_id_of[j]] = t
+    result.makespan = t
+    return result

@@ -1,0 +1,61 @@
+"""Arrival-process generators for the online extension."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Tuple
+
+from .model import OnlineInstance
+
+
+def poisson_like_instance(
+    rng: random.Random,
+    m: int,
+    n: int,
+    arrival_prob: float = 0.5,
+    denominator: int = 60,
+    max_size: int = 4,
+) -> OnlineInstance:
+    """Geometric inter-arrival times (the discrete Poisson analogue):
+    each step, each of the next jobs arrives with probability
+    *arrival_prob*; sizes uniform, requirements uniform."""
+    if not 0 < arrival_prob <= 1:
+        raise ValueError("arrival_prob must be in (0, 1]")
+    entries: List[Tuple[int, int, Fraction]] = []
+    t = 1
+    for _ in range(n):
+        while rng.random() > arrival_prob:
+            t += 1
+        entries.append(
+            (
+                t,
+                rng.randint(1, max_size),
+                Fraction(rng.randint(1, denominator), denominator),
+            )
+        )
+    return OnlineInstance.create(m, entries)
+
+
+def burst_instance(
+    rng: random.Random,
+    m: int,
+    bursts: int,
+    burst_size: int = 8,
+    gap: int = 5,
+    denominator: int = 60,
+) -> OnlineInstance:
+    """Batched arrivals: *bursts* waves of *burst_size* jobs, *gap* steps
+    apart — the diurnal-batch pattern of cluster traces."""
+    entries: List[Tuple[int, int, Fraction]] = []
+    for b in range(bursts):
+        release = 1 + b * gap
+        for _ in range(burst_size):
+            entries.append(
+                (
+                    release,
+                    rng.randint(1, 4),
+                    Fraction(rng.randint(1, denominator), denominator),
+                )
+            )
+    return OnlineInstance.create(m, entries)

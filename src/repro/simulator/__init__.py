@@ -1,0 +1,27 @@
+"""Discrete-time machine simulator: engine, policies, metrics."""
+
+from .engine import (
+    Policy,
+    PolicyViolation,
+    SimulationEngine,
+    SimulationResult,
+)
+from .metrics import ScheduleMetrics, completion_histogram, utilization_profile
+from .policies import (
+    GreedyFillPolicy,
+    ListSchedulingPolicy,
+    SlidingWindowPolicy,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "SimulationResult",
+    "Policy",
+    "PolicyViolation",
+    "SlidingWindowPolicy",
+    "ListSchedulingPolicy",
+    "GreedyFillPolicy",
+    "ScheduleMetrics",
+    "utilization_profile",
+    "completion_histogram",
+]

@@ -1,0 +1,132 @@
+"""Discrete-time execution engine — the machine-model substrate.
+
+The engine owns the model rules of Section 1.1 (one divisible resource,
+``m`` identical processors, one job per processor per step, progress
+``min(share/r_j, 1)``) and executes any online *policy* against them.  The
+paper's algorithms ship as policies too (`repro.simulator.policies`), so the
+optimized schedulers, the baselines, and ad-hoc experiments all run through
+one audited code path.
+
+A policy is anything with a ``decide(state) -> dict[job_id, Fraction]``
+method returning the share vector for the next step.  The engine enforces:
+
+* total share ≤ budget;
+* at most ``m`` jobs per step;
+* every *started* unfinished job keeps being processed (non-preemption) —
+  a policy that starves a started job raises :class:`PolicyViolation`;
+* shares are capped at ``min(r_j, s_j(t-1))`` (the model's w.l.o.g. cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Protocol
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..core.state import SchedulerState
+
+
+class PolicyViolation(RuntimeError):
+    """A policy broke a model rule (overuse, starvation, overcommit)."""
+
+
+class Policy(Protocol):
+    """Online scheduling policy."""
+
+    def decide(self, state: SchedulerState) -> Dict[int, Fraction]:
+        """Share vector for the next step given the current state."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SimulationResult:
+    """Trace-level outcome of an engine run."""
+
+    schedule: Schedule
+    completion_times: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+
+class SimulationEngine:
+    """Runs a policy to completion under the model rules."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        policy: Policy,
+        budget: Fraction = Fraction(1),
+        max_steps: int = 1_000_000,
+    ) -> None:
+        self.instance = instance
+        self.policy = policy
+        self.budget = budget
+        self.max_steps = max_steps
+
+    def run(self) -> SimulationResult:
+        state = SchedulerState(self.instance)
+        schedule = Schedule(instance=self.instance)
+        completion: Dict[int, int] = {}
+        t = 0
+        while state.n_unfinished() > 0:
+            t += 1
+            if t > self.max_steps:
+                raise PolicyViolation(
+                    f"no completion within max_steps={self.max_steps}"
+                )
+            raw = self.policy.decide(state)
+            shares = self._vet(state, raw)
+            pieces = {}
+            for job_id, share in shares.items():
+                pieces[job_id] = (state.processor_for(job_id), share)
+            schedule.append_step(pieces)
+            finished = state.apply_step(shares)
+            for j in finished:
+                completion[j] = t
+        return SimulationResult(schedule=schedule, completion_times=completion)
+
+    # ------------------------------------------------------------------
+
+    def _vet(
+        self, state: SchedulerState, raw: Dict[int, Fraction]
+    ) -> Dict[int, Fraction]:
+        shares: Dict[int, Fraction] = {}
+        total = Fraction(0)
+        for job_id, share in raw.items():
+            if job_id not in state.remaining:
+                raise PolicyViolation(f"unknown job id {job_id}")
+            if share < 0:
+                raise PolicyViolation(f"negative share for job {job_id}")
+            if share == 0:
+                continue
+            if state.is_finished(job_id):
+                raise PolicyViolation(
+                    f"policy scheduled finished job {job_id}"
+                )
+            capped = min(
+                share,
+                state.instance.requirement(job_id),
+                state.remaining[job_id],
+            )
+            if capped <= 0:
+                continue
+            shares[job_id] = capped
+            total += capped
+        if total > self.budget:
+            raise PolicyViolation(
+                f"resource overuse: {total} > {self.budget}"
+            )
+        if len(shares) > self.instance.m:
+            raise PolicyViolation(
+                f"{len(shares)} concurrent jobs exceed m={self.instance.m}"
+            )
+        for job_id in state.started_jobs():
+            if job_id not in shares:
+                raise PolicyViolation(
+                    f"started job {job_id} starved (non-preemption violated)"
+                )
+        return shares

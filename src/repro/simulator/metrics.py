@@ -1,0 +1,63 @@
+"""Schedule-level metrics for analysis and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from ..core.schedule import Schedule
+from ..numeric import frac_sum
+
+
+@dataclass
+class ScheduleMetrics:
+    """Aggregate quality metrics of one schedule."""
+
+    makespan: int
+    avg_utilization: float
+    min_utilization: float
+    total_waste: float
+    avg_jobs_per_step: float
+    avg_completion_time: float
+    max_completion_time: int
+
+    @classmethod
+    def from_schedule(cls, schedule: Schedule) -> "ScheduleMetrics":
+        steps = schedule.steps
+        if not steps:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+        utils = [float(s.total_share()) for s in steps]
+        completion = schedule.completion_times()
+        finished = [t for t in completion.values() if t is not None]
+        return cls(
+            makespan=len(steps),
+            avg_utilization=sum(utils) / len(utils),
+            min_utilization=min(utils),
+            total_waste=sum(max(0.0, 1.0 - u) for u in utils),
+            avg_jobs_per_step=sum(len(s.pieces) for s in steps) / len(steps),
+            avg_completion_time=(
+                sum(finished) / len(finished) if finished else 0.0
+            ),
+            max_completion_time=max(finished) if finished else 0,
+        )
+
+
+def utilization_profile(schedule: Schedule) -> list:
+    """Per-step resource utilization as floats (for plotting/inspection)."""
+    return [float(s.total_share()) for s in schedule.steps]
+
+
+def completion_histogram(
+    schedule: Schedule, bucket: int = 1
+) -> Dict[int, int]:
+    """Histogram of completion times, bucketed."""
+    if bucket < 1:
+        raise ValueError("bucket must be >= 1")
+    hist: Dict[int, int] = {}
+    for t in schedule.completion_times().values():
+        if t is None:
+            continue
+        key = (t - 1) // bucket
+        hist[key] = hist.get(key, 0) + 1
+    return hist

@@ -1,0 +1,81 @@
+"""SRT baselines for experiment E5/E9 comparisons.
+
+* :func:`schedule_tasks_fifo` — tasks in input order, whole machine;
+* :func:`schedule_tasks_by_requirement` — tasks by non-decreasing ``r(T)``,
+  whole machine, no heavy/light partition;
+* :func:`schedule_tasks_job_level` — ignore the task structure entirely:
+  run the Section-3 unit-size SRJ scheduler on the pooled jobs and read off
+  task completion times.  Good makespan, typically poor *average* task
+  completion time (the motivation for Section 4).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict
+
+from ..core.instance import Instance
+from ..core.unit import UnitSizeScheduler
+from .model import TaskInstance, TaskScheduleResult
+from .sequential import run_sequential
+
+
+def schedule_tasks_fifo(instance: TaskInstance) -> TaskScheduleResult:
+    """Process tasks in input order on the whole machine."""
+    res = run_sequential(
+        list(instance.tasks), instance.m, Fraction(1), record_steps=False
+    )
+    return TaskScheduleResult(
+        instance=instance,
+        completion_times=res.completion_times,
+        makespan=res.makespan,
+        algorithm="fifo",
+    )
+
+
+def schedule_tasks_by_requirement(
+    instance: TaskInstance,
+) -> TaskScheduleResult:
+    """Shortest-total-requirement-first on the whole machine (no split)."""
+    ordered = sorted(
+        instance.tasks, key=lambda t: (t.total_requirement(), t.id)
+    )
+    res = run_sequential(
+        ordered, instance.m, Fraction(1), record_steps=False
+    )
+    return TaskScheduleResult(
+        instance=instance,
+        completion_times=res.completion_times,
+        makespan=res.makespan,
+        algorithm="srpt-like",
+    )
+
+
+def schedule_tasks_job_level(instance: TaskInstance) -> TaskScheduleResult:
+    """Pool all jobs, schedule with the unit-size SRJ algorithm, and derive
+    task completion times — the task-oblivious baseline."""
+    keys = []  # position -> (task id)
+    reqs = []
+    for task in instance.tasks:
+        for r in task.requirements:
+            keys.append(task.id)
+            reqs.append(r)
+    if not reqs:
+        return TaskScheduleResult(
+            instance=instance,
+            completion_times={},
+            makespan=0,
+            algorithm="job-level",
+        )
+    srj = Instance.from_requirements(instance.m, reqs)
+    result = UnitSizeScheduler(srj).run()
+    completion: Dict[int, int] = {}
+    for job_id, finish in result.completion_times.items():
+        task_id = keys[srj.original_ids[job_id]]
+        completion[task_id] = max(completion.get(task_id, 0), finish)
+    return TaskScheduleResult(
+        instance=instance,
+        completion_times=completion,
+        makespan=result.makespan,
+        algorithm="job-level",
+    )

@@ -1,0 +1,48 @@
+"""Task partition of Section 4.2.
+
+Tasks are split by the average resource requirement of their jobs:
+
+* 𝓣₁ — heavy: ``|T| / r(T) < m - 1``  (i.e. average requirement > 1/(m-1));
+* 𝓣₂ — light: ``|T| / r(T) ≥ m - 1``  (average requirement ≤ 1/(m-1)).
+
+𝓣₁ is scheduled on ``⌊m/2⌋`` processors with resource
+``R₁ = (⌊m/2⌋ - 1)/(m - 1)``; 𝓣₂ on ``⌈m/2⌉`` processors with ``R₂ = 1/2``.
+``R₁ + R₂ ≤ 1`` always holds, so the two halves coexist on one machine.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Tuple
+
+from .model import Task, TaskInstance
+
+
+def partition_tasks(instance: TaskInstance) -> Tuple[List[Task], List[Task]]:
+    """Split into (heavy 𝓣₁, light 𝓣₂) per the Section 4.2 rule."""
+    m = instance.m
+    if m < 2:
+        # degenerate: everything is "heavy"; the caller falls back anyway
+        return list(instance.tasks), []
+    heavy: List[Task] = []
+    light: List[Task] = []
+    threshold = Fraction(1, m - 1)
+    for task in instance.tasks:
+        if task.average_requirement() > threshold:
+            heavy.append(task)
+        else:
+            light.append(task)
+    return heavy, light
+
+
+def heavy_allotment(m: int) -> Tuple[int, Fraction]:
+    """(processors, resource) for 𝓣₁: ``⌊m/2⌋`` and ``(⌊m/2⌋-1)/(m-1)``."""
+    m1 = m // 2
+    resource = Fraction(max(m1 - 1, 0), m - 1) if m > 1 else Fraction(1)
+    return m1, resource
+
+
+def light_allotment(m: int) -> Tuple[int, Fraction]:
+    """(processors, resource) for 𝓣₂: ``⌈m/2⌉`` and ``1/2``."""
+    m2 = (m + 1) // 2
+    return m2, Fraction(1, 2)

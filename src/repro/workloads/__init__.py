@@ -1,0 +1,71 @@
+"""Synthetic workload generators for all experiments (DESIGN.md §3)."""
+
+from .adversarial import (
+    next_fit_adversarial_items,
+    resource_cliff_instance,
+    sawtooth_instance,
+    three_partition_instance,
+)
+from .distributions import (
+    bimodal_fractions,
+    geometric_sizes,
+    heavy_tail_fractions,
+    uniform_fractions,
+    uniform_sizes,
+)
+from .generators import (
+    FAMILIES,
+    anti_correlated_instance,
+    bimodal_instance,
+    correlated_instance,
+    heavy_tail_instance,
+    make_instance,
+    planted_instance,
+    uniform_instance,
+    unit_instance,
+)
+from .tasksets import (
+    TASKSET_FAMILIES,
+    cloud_taskset,
+    heavy_taskset,
+    light_taskset,
+    make_taskset,
+    mixed_taskset,
+)
+from .traces import (
+    TraceBurst,
+    synthesize_bursts,
+    trace_instance,
+    trace_taskset,
+)
+
+__all__ = [
+    "FAMILIES",
+    "make_instance",
+    "uniform_instance",
+    "bimodal_instance",
+    "heavy_tail_instance",
+    "correlated_instance",
+    "anti_correlated_instance",
+    "unit_instance",
+    "planted_instance",
+    "three_partition_instance",
+    "next_fit_adversarial_items",
+    "sawtooth_instance",
+    "resource_cliff_instance",
+    "uniform_fractions",
+    "bimodal_fractions",
+    "heavy_tail_fractions",
+    "geometric_sizes",
+    "uniform_sizes",
+    "TraceBurst",
+    "synthesize_bursts",
+    "trace_instance",
+    "trace_taskset",
+    "TASKSET_FAMILIES",
+    "make_taskset",
+    "heavy_taskset",
+    "light_taskset",
+    "mixed_taskset",
+    "cloud_taskset",
+]

@@ -1,0 +1,114 @@
+"""Adversarial and hardness-flavored instance families.
+
+* :func:`three_partition_instance` — the NP-hardness gadget (Theorem 2.1 /
+  Chung et al. [4]): a 3-Partition instance ``a_1..a_{3q}`` with
+  ``Σ a_i = qB`` and ``B/4 < a_i < B/2`` becomes ``3q`` unit-size jobs with
+  ``r_i = a_i / B`` on ``m = 3`` processors.  A YES instance packs into
+  exactly ``q`` full time steps (three jobs per step, shares summing to 1),
+  so ``OPT = q``; NO instances force ``OPT > q``.  We generate *planted YES*
+  instances (draw the triples first), so the optimum is known.
+* :func:`next_fit_adversarial_items` — items alternating ``1/2 + ε`` and
+  ``ε`` sizes that drive NextFit-style packers towards their worst ratio.
+* :func:`sawtooth_instance` — interleaved tiny/huge requirements with large
+  sizes; stresses the window's MoveWindowRight logic (ablation E7).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core.instance import Instance
+from ..binpacking.item import Item, make_items
+
+
+def three_partition_instance(
+    rng: random.Random, q: int, base: int = 60
+) -> Tuple[Instance, int]:
+    """Planted-YES 3-Partition instance as unit-size SRJ with ``m = 3``.
+
+    Each of the *q* triples ``(a, b, c)`` satisfies ``a + b + c = base`` and
+    ``base/4 < a,b,c < base/2``.  Jobs get requirements ``a_i / base``;
+    the planted packing finishes three jobs per step using the whole
+    resource, so the optimal makespan is exactly *q*.
+
+    Returns ``(instance, q)``.
+    """
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    if base % 4 != 0:
+        raise ValueError("base must be divisible by 4 for clean bounds")
+    lo, hi = base // 4 + 1, base // 2 - 1
+    values: List[int] = []
+    for _ in range(q):
+        # draw a,b in the open range so that c = base - a - b also fits
+        while True:
+            a = rng.randint(lo, hi)
+            b = rng.randint(lo, hi)
+            c = base - a - b
+            if lo <= c <= hi:
+                break
+        values.extend([a, b, c])
+    reqs = [Fraction(v, base) for v in values]
+    return Instance.from_requirements(3, reqs), q
+
+
+def next_fit_adversarial_items(
+    n_bigs: int, k: int = 2, epsilon: Fraction = Fraction(1, 100)
+) -> List[Item]:
+    """The ``2 - 1/k`` family for NextFit-style packers.
+
+    ``n_bigs`` items of size ``1 - (k-1)·ε`` followed by ``n_bigs·(k-1)``
+    slivers of size ``ε``.  The optimum pairs one big item with ``k-1``
+    slivers per bin (``OPT = n_bigs``).  NextFit, processing in input
+    order, fills ~``n_bigs`` bins with big items alone and then needs
+    ``n_bigs·(k-1)/k`` cardinality-closed bins of slivers — ratio
+    ``≈ 2 - 1/k``.  The sliding-window packer sorts by size and its window
+    naturally recreates the optimal (k-1 slivers + one big) pairing.
+    """
+    if n_bigs < 1:
+        raise ValueError("n_bigs must be >= 1")
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if epsilon <= 0 or (k - 1) * epsilon >= Fraction(1, 2):
+        raise ValueError("epsilon too large for the construction")
+    sizes: List[Fraction] = [Fraction(1) - (k - 1) * epsilon] * n_bigs
+    sizes.extend([epsilon] * (n_bigs * (k - 1)))
+    return make_items(sizes)
+
+
+def sawtooth_instance(
+    rng: random.Random, m: int, teeth: int, size: int = 8
+) -> Instance:
+    """Interleaved tiny and huge requirements with uniform large sizes.
+
+    The canonical ordering separates the scales; a naive greedy window
+    (MoveWindowRight disabled) parks on the tiny jobs and wastes resource,
+    while the maximal window slides right to keep utilization high.
+    """
+    reqs: List[Fraction] = []
+    sizes: List[int] = []
+    for i in range(teeth):
+        reqs.append(Fraction(1, 100 + rng.randint(0, 20)))
+        sizes.append(size)
+        reqs.append(Fraction(90 + rng.randint(0, 20), 100))
+        sizes.append(max(size // 2, 1))
+    return Instance.from_requirements(m, reqs, sizes)
+
+
+def resource_cliff_instance(m: int, big_steps: int) -> Instance:
+    """Deterministic family: ``m - 2`` processor-bound slivers plus a chain
+    of resource-bound unit jobs.  Exercises the Case-1 / Case-2 boundary of
+    the assignment (the ``T_L`` vs ``T_R`` accounting of Theorem 3.3)."""
+    if m < 3:
+        raise ValueError("m must be >= 3")
+    reqs: List[Fraction] = []
+    sizes: List[int] = []
+    for _ in range(m - 2):
+        reqs.append(Fraction(1, 1000))
+        sizes.append(big_steps)
+    for _ in range(big_steps):
+        reqs.append(Fraction(1))
+        sizes.append(1)
+    return Instance.from_requirements(m, reqs, sizes)

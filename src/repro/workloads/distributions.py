@@ -1,0 +1,103 @@
+"""Random quantity distributions, discretized to exact Fractions.
+
+All generators take a :class:`random.Random` instance (deterministic under a
+seed) and emit :class:`fractions.Fraction` values with bounded denominators,
+so downstream exact arithmetic stays fast and the fractured/feasibility
+predicates are decided exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List
+
+
+def uniform_fractions(
+    rng: random.Random,
+    n: int,
+    lo: Fraction = Fraction(1, 20),
+    hi: Fraction = Fraction(1, 1),
+    denominator: int = 120,
+) -> List[Fraction]:
+    """n values ~ Uniform[lo, hi], snapped to multiples of 1/denominator
+    (and clamped to stay positive)."""
+    if lo <= 0 or hi < lo:
+        raise ValueError("need 0 < lo <= hi")
+    out = []
+    lo_num = int(lo * denominator)
+    hi_num = int(hi * denominator)
+    for _ in range(n):
+        num = rng.randint(max(lo_num, 1), max(hi_num, 1))
+        out.append(Fraction(num, denominator))
+    return out
+
+
+def bimodal_fractions(
+    rng: random.Random,
+    n: int,
+    low_center: Fraction = Fraction(1, 10),
+    high_center: Fraction = Fraction(3, 4),
+    spread: Fraction = Fraction(1, 20),
+    high_prob: float = 0.3,
+    denominator: int = 120,
+) -> List[Fraction]:
+    """Mixture of two uniform humps: mostly small requirements with a heavy
+    minority of large ones — the "some jobs are data-intensive, most are
+    not" scenario from the paper's introduction."""
+    out = []
+    for _ in range(n):
+        center = high_center if rng.random() < high_prob else low_center
+        lo = max(center - spread, Fraction(1, denominator))
+        hi = center + spread
+        num = rng.randint(int(lo * denominator), int(hi * denominator))
+        out.append(Fraction(max(num, 1), denominator))
+    return out
+
+
+def heavy_tail_fractions(
+    rng: random.Random,
+    n: int,
+    alpha: float = 1.5,
+    scale: Fraction = Fraction(1, 20),
+    cap: Fraction = Fraction(3, 1),
+    denominator: int = 120,
+) -> List[Fraction]:
+    """Pareto(alpha)-distributed requirements (heavy tail), capped at *cap*.
+
+    Values may exceed 1 — such jobs can never absorb their full requirement
+    in one step and act as resource hogs (the big-data regime motivating
+    the model)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    out = []
+    for _ in range(n):
+        u = rng.random()
+        value = float(scale) * (1.0 - u) ** (-1.0 / alpha)
+        value = min(value, float(cap))
+        num = max(int(round(value * denominator)), 1)
+        out.append(Fraction(num, denominator))
+    return out
+
+
+def geometric_sizes(
+    rng: random.Random, n: int, mean: float = 3.0, cap: int = 50
+) -> List[int]:
+    """Geometric job sizes with the given mean, capped."""
+    if mean < 1:
+        raise ValueError("mean must be >= 1")
+    p = 1.0 / mean
+    out = []
+    for _ in range(n):
+        size = 1
+        while size < cap and rng.random() > p:
+            size += 1
+        out.append(size)
+    return out
+
+
+def uniform_sizes(rng: random.Random, n: int, lo: int = 1, hi: int = 10) -> List[int]:
+    """Uniform integer sizes in [lo, hi]."""
+    if lo < 1 or hi < lo:
+        raise ValueError("need 1 <= lo <= hi")
+    return [rng.randint(lo, hi) for _ in range(n)]

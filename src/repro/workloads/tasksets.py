@@ -1,0 +1,142 @@
+"""Synthetic SRT task-set generators (cloud-composed-service workloads).
+
+Tasks model composed cloud services: an application (task) consists of many
+small parallel services (unit jobs), each with its own bandwidth demand.
+Generators produce heavy-only, light-only and mixed populations relative to
+the Section 4.2 partition threshold ``1/(m-1)``.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List
+
+from ..tasks.model import TaskInstance
+
+
+def heavy_taskset(
+    rng: random.Random,
+    m: int,
+    k: int,
+    jobs_lo: int = 2,
+    jobs_hi: int = 8,
+    denominator: int = 120,
+) -> TaskInstance:
+    """k tasks whose jobs all exceed the heavy threshold ``1/(m-1)``."""
+    if m < 3:
+        raise ValueError("heavy tasks need m >= 3")
+    lo_num = denominator // (m - 1) + 1  # strictly above 1/(m-1)
+    lists: List[List[Fraction]] = []
+    for _ in range(k):
+        n_jobs = rng.randint(jobs_lo, jobs_hi)
+        lists.append(
+            [
+                Fraction(rng.randint(lo_num, denominator), denominator)
+                for _ in range(n_jobs)
+            ]
+        )
+    return TaskInstance.create(m, lists)
+
+
+def light_taskset(
+    rng: random.Random,
+    m: int,
+    k: int,
+    jobs_lo: int = 3,
+    jobs_hi: int = 20,
+    denominator: int = 240,
+) -> TaskInstance:
+    """k tasks whose jobs all lie at or below the threshold ``1/(m-1)``."""
+    if m < 3:
+        raise ValueError("light tasks need m >= 3")
+    hi_num = max(denominator // (m - 1), 1)  # at most 1/(m-1)
+    lists: List[List[Fraction]] = []
+    for _ in range(k):
+        n_jobs = rng.randint(jobs_lo, jobs_hi)
+        lists.append(
+            [
+                Fraction(rng.randint(1, hi_num), denominator)
+                for _ in range(n_jobs)
+            ]
+        )
+    return TaskInstance.create(m, lists)
+
+
+def mixed_taskset(
+    rng: random.Random,
+    m: int,
+    k: int,
+    heavy_prob: float = 0.5,
+    denominator: int = 240,
+) -> TaskInstance:
+    """Mixture of heavy-ish and light-ish tasks (per-task coin flip).
+
+    Individual tasks may straddle the threshold — the partition is decided
+    by the *average* requirement, exactly as in the paper.
+    """
+    if m < 3:
+        raise ValueError("mixed tasks need m >= 3")
+    threshold_num = max(denominator // (m - 1), 1)
+    lists: List[List[Fraction]] = []
+    for _ in range(k):
+        n_jobs = rng.randint(2, 15)
+        if rng.random() < heavy_prob:
+            reqs = [
+                Fraction(
+                    rng.randint(threshold_num + 1, denominator), denominator
+                )
+                for _ in range(n_jobs)
+            ]
+        else:
+            reqs = [
+                Fraction(rng.randint(1, threshold_num), denominator)
+                for _ in range(n_jobs)
+            ]
+        lists.append(reqs)
+    return TaskInstance.create(m, lists)
+
+
+def cloud_taskset(
+    rng: random.Random, m: int, k: int, denominator: int = 240
+) -> TaskInstance:
+    """Cloud-like population: task fan-out is heavy-tailed (most services
+    are small compositions, a few are wide), bandwidth demands log-uniform."""
+    if m < 3:
+        raise ValueError("cloud tasks need m >= 3")
+    lists: List[List[Fraction]] = []
+    for _ in range(k):
+        # heavy-tailed fan-out
+        n_jobs = 1
+        while n_jobs < 64 and rng.random() < 0.7:
+            n_jobs += rng.randint(1, 3)
+        reqs = []
+        for _ in range(n_jobs):
+            exponent = rng.uniform(-3.0, 0.0)  # 1/1000 .. 1
+            value = 10.0 ** exponent
+            num = max(int(round(value * denominator)), 1)
+            reqs.append(Fraction(num, denominator))
+        lists.append(reqs)
+    return TaskInstance.create(m, lists)
+
+
+TASKSET_FAMILIES = {
+    "heavy": heavy_taskset,
+    "light": light_taskset,
+    "mixed": mixed_taskset,
+    "cloud": cloud_taskset,
+}
+
+
+def make_taskset(
+    family: str, rng: random.Random, m: int, k: int
+) -> TaskInstance:
+    """Dispatch on a family name from :data:`TASKSET_FAMILIES`."""
+    try:
+        gen = TASKSET_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown taskset family {family!r}; choose from "
+            f"{sorted(TASKSET_FAMILIES)}"
+        ) from None
+    return gen(rng, m, k)

@@ -1,0 +1,102 @@
+"""Cluster-trace-flavored workloads (substitution for production traces).
+
+Real evaluations of shared-bandwidth schedulers would replay production
+cluster traces (job sizes and bandwidth demands from, e.g., a Google/Borg
+or Alibaba trace).  Those are unavailable offline, so — per the
+reproduction's substitution rule (DESIGN.md §3) — this module synthesizes
+workloads with the *statistical signatures* such traces exhibit:
+
+* heavy-tailed job sizes (a few elephants, many mice);
+* diurnal batching: jobs arrive in bursts of correlated type;
+* per-burst coherence: jobs submitted together have similar bandwidth
+  demands (same application class).
+
+The SRJ model is offline, so "arrival bursts" only shape the *composition*
+of the instance, not release times; the burst structure is returned so SRT
+experiments can treat each burst as a task.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+from ..core.instance import Instance
+from ..tasks.model import TaskInstance
+
+
+@dataclass(frozen=True)
+class TraceBurst:
+    """One arrival burst: an application class submitting related jobs."""
+
+    app_class: str
+    sizes: Tuple[int, ...]
+    requirements: Tuple[Fraction, ...]
+
+
+#: application classes: (name, size range, requirement center/denominator)
+_APP_CLASSES = [
+    ("web", (1, 2), (2, 120)),          # tiny, low bandwidth
+    ("analytics", (3, 12), (18, 120)),  # medium, moderate bandwidth
+    ("backup", (6, 30), (75, 120)),     # long, bandwidth-hungry
+    ("ml-train", (10, 40), (40, 120)),  # long, moderate bandwidth
+    ("shuffle", (1, 4), (100, 120)),    # short, saturating
+]
+
+
+def synthesize_bursts(
+    rng: random.Random,
+    n_bursts: int,
+    burst_size_mean: float = 6.0,
+) -> List[TraceBurst]:
+    """Generate arrival bursts with per-class coherent demands."""
+    if n_bursts < 1:
+        raise ValueError("n_bursts must be >= 1")
+    bursts = []
+    for _ in range(n_bursts):
+        name, (p_lo, p_hi), (center, denom) = rng.choice(_APP_CLASSES)
+        count = 1
+        while rng.random() < 1 - 1 / burst_size_mean and count < 40:
+            count += 1
+        sizes = tuple(rng.randint(p_lo, p_hi) for _ in range(count))
+        reqs = tuple(
+            Fraction(
+                max(center + rng.randint(-center // 3 - 1, center // 3 + 1), 1),
+                denom,
+            )
+            for _ in range(count)
+        )
+        bursts.append(
+            TraceBurst(app_class=name, sizes=sizes, requirements=reqs)
+        )
+    return bursts
+
+
+def trace_instance(
+    rng: random.Random, m: int, n_bursts: int
+) -> Tuple[Instance, List[TraceBurst]]:
+    """Flatten bursts into an offline SRJ instance."""
+    bursts = synthesize_bursts(rng, n_bursts)
+    sizes: List[int] = []
+    reqs: List[Fraction] = []
+    for burst in bursts:
+        sizes.extend(burst.sizes)
+        reqs.extend(burst.requirements)
+    return Instance.from_requirements(m, reqs, sizes), bursts
+
+
+def trace_taskset(
+    rng: random.Random, m: int, n_bursts: int
+) -> TaskInstance:
+    """Each burst becomes one SRT task of unit jobs (job 'size' folds into
+    repeated unit jobs, matching Section 4's unit-size task model)."""
+    bursts = synthesize_bursts(rng, n_bursts)
+    lists: List[List[Fraction]] = []
+    for burst in bursts:
+        jobs: List[Fraction] = []
+        for size, req in zip(burst.sizes, burst.requirements):
+            jobs.extend([req] * min(size, 8))
+        lists.append(jobs)
+    return TaskInstance.create(m, lists)

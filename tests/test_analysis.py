@@ -1,0 +1,130 @@
+"""Tests for the analysis layer (stats, tables, ratios)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    ExperimentTable,
+    RatioSample,
+    Summary,
+    adversarial_ratio_search,
+    fit_power_law,
+    mean_confidence_interval,
+    measure_srj,
+    measure_unit,
+    percentile,
+    render_table,
+    theoretical_ratio,
+    theoretical_unit_ratio,
+)
+from repro.core.instance import Instance
+
+
+class TestSummary:
+    def test_basic(self):
+        s = Summary.of([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.p50 == 2.0
+
+    def test_empty(self):
+        s = Summary.of([])
+        assert s.n == 0
+
+    def test_percentile_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+        assert percentile([5.0], 95) == 5.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_confidence_interval(self):
+        mean, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert lo <= mean <= hi
+        assert mean == 2.0
+
+    def test_ci_single_sample(self):
+        mean, lo, hi = mean_confidence_interval([5.0])
+        assert mean == lo == hi == 5.0
+
+
+class TestPowerLaw:
+    def test_recovers_exponent(self):
+        xs = [10.0, 20.0, 40.0, 80.0]
+        ys = [3.0 * x**2 for x in xs]
+        e, c = fit_power_law(xs, ys)
+        assert abs(e - 2.0) < 1e-9
+        assert abs(c - 3.0) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([2.0, 2.0], [1.0, 3.0])
+
+
+class TestTables:
+    def test_add_row_validation(self):
+        t = ExperimentTable(id="X", title="t", headers=["a", "b"])
+        t.add_row(1, 2)
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_contains_values(self):
+        t = ExperimentTable(id="X", title="demo", headers=["a", "b"])
+        t.add_row("hello", 3.14159)
+        out = t.render()
+        assert "hello" in out and "demo" in out and "3.142" in out
+
+    def test_markdown(self):
+        t = ExperimentTable(id="X", title="demo", headers=["a"])
+        t.add_row(1)
+        md = t.to_markdown()
+        assert md.startswith("**[X] demo**")
+        assert "| a |" in md
+
+    def test_render_table_alignment(self):
+        out = render_table(["col"], [[123]], title="T", notes=["n"])
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "note: n" in lines[-1]
+
+
+class TestRatios:
+    def test_theoretical_ratios(self):
+        assert theoretical_ratio(3) == 3.0
+        assert theoretical_ratio(4) == 2.5
+        assert math.isinf(theoretical_ratio(2))
+        assert theoretical_unit_ratio(2) == 2.0
+        assert math.isinf(theoretical_unit_ratio(1))
+
+    def test_measure_srj(self):
+        insts = [
+            Instance.from_requirements(4, [Fraction(1, 2)] * 3, sizes=[2, 1, 1])
+        ]
+        samples = measure_srj(insts, family="t")
+        assert len(samples) == 1
+        assert samples[0].reference_kind == "lb"
+        assert samples[0].ratio >= 1.0
+
+    def test_measure_unit(self):
+        insts = [Instance.from_requirements(3, [Fraction(1, 2)] * 4)]
+        samples = measure_unit(insts, family="u")
+        assert samples[0].makespan >= samples[0].reference
+
+    def test_ratio_sample_zero_reference(self):
+        s = RatioSample("f", 3, 0, 0, 0, "lb")
+        assert s.ratio == 1.0
+
+    def test_adversarial_search_improves_or_holds(self):
+        best = adversarial_ratio_search(m=4, n=6, rounds=30, seed=3)
+        assert best.ratio >= 1.0
+        assert best.m == 4

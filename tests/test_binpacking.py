@@ -1,0 +1,215 @@
+"""Tests for bin packing with splittable items (repro.binpacking)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.binpacking import (
+    Bin,
+    Packing,
+    bins_sorted_by_load,
+    cardinality_lower_bound,
+    items_to_instance,
+    make_items,
+    max_parts_per_item,
+    pack_first_fit_unsplit,
+    pack_next_fit,
+    pack_next_fit_decreasing,
+    pack_next_fit_increasing,
+    pack_sliding_window,
+    packing_guarantee,
+    packing_lower_bound,
+    total_size,
+    volume_lower_bound,
+    waste,
+)
+from repro.workloads import next_fit_adversarial_items
+
+from conftest import item_size_lists
+
+
+class TestItems:
+    def test_make_items(self):
+        items = make_items([Fraction(1, 2), Fraction(3, 2)])
+        assert [it.id for it in items] == [0, 1]
+        assert total_size(items) == 2
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_items([Fraction(0)])
+
+
+class TestPackingModel:
+    def test_bin_operations(self):
+        b = Bin()
+        b.add(0, Fraction(1, 2))
+        b.add(1, Fraction(1, 4))
+        b.add(0, Fraction(1, 8))  # merged part
+        assert b.load() == Fraction(7, 8)
+        assert b.cardinality() == 2
+
+    def test_bin_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Bin().add(0, Fraction(0))
+
+    def test_violations_detect_overfull(self):
+        items = make_items([Fraction(3, 2)])
+        p = Packing(items=items, k=2)
+        p.new_bin().add(0, Fraction(3, 2))
+        assert any("overfull" in v for v in p.violations())
+
+    def test_violations_detect_cardinality(self):
+        items = make_items([Fraction(1, 4)] * 3)
+        p = Packing(items=items, k=2)
+        b = p.new_bin()
+        for i in range(3):
+            b.add(i, Fraction(1, 4))
+        assert any("exceed k" in v for v in p.violations())
+
+    def test_violations_detect_missing_amount(self):
+        items = make_items([Fraction(1, 2)])
+        p = Packing(items=items, k=2)
+        p.new_bin().add(0, Fraction(1, 4))
+        assert any("placed" in v for v in p.violations())
+
+    def test_waste_and_load_order(self):
+        items = make_items([Fraction(1, 2), Fraction(1, 4)])
+        p = Packing(items=items, k=2)
+        p.new_bin().add(0, Fraction(1, 2))
+        p.new_bin().add(1, Fraction(1, 4))
+        assert waste(p) == Fraction(5, 4)
+        assert bins_sorted_by_load(p) == [Fraction(1, 2), Fraction(1, 4)]
+
+    def test_max_parts(self):
+        items = make_items([Fraction(3, 2)])
+        p = Packing(items=items, k=2)
+        p.new_bin().add(0, Fraction(1))
+        p.new_bin().add(0, Fraction(1, 2))
+        assert max_parts_per_item(p) == 2
+
+
+class TestLowerBounds:
+    def test_volume(self):
+        items = make_items([Fraction(1, 2), Fraction(3, 4)])
+        assert volume_lower_bound(items) == 2
+
+    def test_cardinality(self):
+        items = make_items([Fraction(1, 100)] * 7)
+        assert cardinality_lower_bound(items, 3) == 3
+
+    def test_cardinality_counts_oversized_items(self):
+        # an item of size 2.5 needs >= 3 parts
+        items = make_items([Fraction(5, 2)])
+        assert cardinality_lower_bound(items, 2) == 2
+
+    def test_combined(self):
+        items = make_items([Fraction(1, 100)] * 7)
+        assert packing_lower_bound(items, 3) == 3
+        assert packing_lower_bound([], 3) == 0
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize(
+        "packer",
+        [
+            pack_sliding_window,
+            pack_next_fit,
+            pack_next_fit_decreasing,
+            pack_next_fit_increasing,
+            pack_first_fit_unsplit,
+        ],
+    )
+    def test_valid_on_fixture(self, packer):
+        items = make_items(
+            [Fraction(1, 2), Fraction(3, 4), Fraction(1, 4), Fraction(3, 2)]
+        )
+        packing = packer(items, 3)
+        packing.assert_valid()
+        assert packing.num_bins >= packing_lower_bound(items, 3)
+
+    def test_k1_sliding_window(self):
+        items = make_items([Fraction(5, 2), Fraction(1, 2)])
+        p = pack_sliding_window(items, 1)
+        p.assert_valid()
+        assert p.num_bins == 4  # 3 bins for the 2.5 item, 1 for the 0.5
+
+    def test_empty_items(self):
+        assert pack_sliding_window([], 3).num_bins == 0
+        assert pack_next_fit([], 3).num_bins == 0
+
+    def test_next_fit_cardinality_close(self):
+        # k=2 and four slivers: next fit must close bins by cardinality
+        items = make_items([Fraction(1, 10)] * 4)
+        p = pack_next_fit(items, 2)
+        p.assert_valid()
+        assert p.num_bins == 2
+
+    def test_sliding_window_guarantee(self):
+        items = make_items([Fraction(1, 2), Fraction(1, 2), Fraction(1, 2)])
+        for k in (2, 3, 4):
+            p = pack_sliding_window(items, k)
+            lb = packing_lower_bound(items, k)
+            assert p.num_bins <= packing_guarantee(k, lb)
+
+    def test_adversarial_family_hurts_next_fit(self):
+        k = 8
+        items = next_fit_adversarial_items(20, k=k)
+        lb = packing_lower_bound(items, k)
+        nf = pack_next_fit(items, k).num_bins
+        sw = pack_sliding_window(items, k).num_bins
+        assert nf / lb > 1.6      # NextFit approaches 2 - 1/k
+        assert sw / lb < 1.2      # the window recreates the OPT pairing
+
+    @given(sizes=item_size_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_property_all_packers_valid(self, sizes):
+        items = make_items(sizes)
+        for k in (2, 4):
+            lb = packing_lower_bound(items, k)
+            for packer in (
+                pack_sliding_window,
+                pack_next_fit,
+                pack_next_fit_decreasing,
+                pack_first_fit_unsplit,
+            ):
+                p = packer(items, k)
+                p.assert_valid()
+                assert p.num_bins >= lb
+
+    @given(sizes=item_size_lists(min_n=1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_corollary_39_guarantee(self, sizes):
+        items = make_items(sizes)
+        for k in (2, 3, 8):
+            p = pack_sliding_window(items, k)
+            lb = packing_lower_bound(items, k)
+            assert p.num_bins <= packing_guarantee(k, lb)
+
+
+class TestReduction:
+    def test_items_to_instance(self):
+        items = make_items([Fraction(3, 4), Fraction(1, 4)])
+        inst = items_to_instance(items, 3)
+        assert inst.m == 3
+        assert inst.is_unit_size
+        # canonical order sorts by requirement
+        assert [j.requirement for j in inst.jobs] == [
+            Fraction(1, 4), Fraction(3, 4),
+        ]
+        assert inst.original_ids == (1, 0)
+
+    def test_round_trip_preserves_item_ids(self):
+        from repro.core.unit import UnitSizeScheduler
+        from repro.binpacking import result_to_packing
+
+        items = make_items([Fraction(3, 4), Fraction(1, 4), Fraction(1, 2)])
+        inst = items_to_instance(items, 2)
+        result = UnitSizeScheduler(inst).run()
+        packing = result_to_packing(items, 2, result)
+        packing.assert_valid()
+
+    def test_guarantee_formula(self):
+        assert packing_guarantee(2, 10) == 21
+        assert packing_guarantee(11, 10) == 12
+        assert packing_guarantee(1, 10) == 10

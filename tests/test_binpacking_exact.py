@@ -1,0 +1,84 @@
+"""Tests for the exact (preemptive) bin packing MILP."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.binpacking import (
+    items_to_instance,
+    make_items,
+    pack_sliding_window,
+    packing_feasible_in,
+    packing_guarantee,
+    packing_lower_bound,
+    solve_packing_exact,
+)
+from repro.exact import solve_exact
+from repro.exact.milp import ExactSolverError
+
+
+class TestFeasibility:
+    def test_one_item_one_bin(self):
+        items = make_items([Fraction(1, 2)])
+        assert packing_feasible_in(items, 2, 1)
+        assert not packing_feasible_in(items, 2, 0)
+
+    def test_volume_blocks(self):
+        items = make_items([Fraction(3, 4), Fraction(3, 4)])
+        assert not packing_feasible_in(items, 2, 1)
+        assert packing_feasible_in(items, 2, 2)
+
+    def test_cardinality_blocks(self):
+        items = make_items([Fraction(1, 10)] * 3)
+        assert not packing_feasible_in(items, 2, 1)
+        assert packing_feasible_in(items, 2, 2)
+
+    def test_splitting_enables_tight_fit(self):
+        # three 2/3-items in two bins requires splitting (k >= 2)
+        items = make_items([Fraction(2, 3)] * 3)
+        assert packing_feasible_in(items, 2, 2)
+
+    def test_empty(self):
+        assert packing_feasible_in([], 2, 0)
+
+
+class TestSolve:
+    def test_known_optimum(self):
+        items = make_items([Fraction(2, 3)] * 3)
+        assert solve_packing_exact(items, 2) == 2
+
+    def test_sandwich(self, rng):
+        for _ in range(8):
+            k = rng.randint(2, 4)
+            n = rng.randint(1, 6)
+            items = make_items(
+                [Fraction(rng.randint(1, 12), 10) for _ in range(n)]
+            )
+            sw = pack_sliding_window(items, k).num_bins
+            opt = solve_packing_exact(items, k, upper_bound=sw)
+            lb = packing_lower_bound(items, k)
+            assert lb <= opt <= sw
+            assert sw <= packing_guarantee(k, opt)
+
+    def test_preemption_never_hurts(self, rng):
+        """Packing OPT (preemptive) <= scheduling OPT (non-preemptive)."""
+        for _ in range(5):
+            k = rng.randint(2, 3)
+            n = rng.randint(2, 5)
+            items = make_items(
+                [Fraction(rng.randint(1, 10), 10) for _ in range(n)]
+            )
+            sw = pack_sliding_window(items, k).num_bins
+            pack_opt = solve_packing_exact(items, k, upper_bound=sw)
+            sched_opt = solve_exact(
+                items_to_instance(items, k), upper_bound=sw
+            ).makespan
+            assert pack_opt <= sched_opt
+
+    def test_guard(self):
+        items = make_items([Fraction(1)] * 20)
+        with pytest.raises(ExactSolverError):
+            solve_packing_exact(items, 2, max_bins=5)
+
+    def test_empty(self):
+        assert solve_packing_exact([], 3) == 0

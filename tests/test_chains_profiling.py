@@ -1,0 +1,109 @@
+"""Tests for split-structure analysis and the profiling helpers."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.analysis.profiling import (
+    format_profile,
+    profile_call,
+    profile_scheduler,
+)
+from repro.binpacking import (
+    Packing,
+    coordination_cost,
+    is_chain_structured,
+    make_items,
+    pack_next_fit,
+    pack_sliding_window,
+    split_graph,
+    split_items,
+    split_statistics,
+)
+from repro.core.instance import Instance
+
+from conftest import item_size_lists
+
+
+class TestSplitGraph:
+    def _manual_packing(self):
+        items = make_items([Fraction(3, 2), Fraction(1, 2)])
+        p = Packing(items=items, k=2)
+        p.new_bin().add(0, Fraction(1))
+        b = p.new_bin()
+        b.add(0, Fraction(1, 2))
+        b.add(1, Fraction(1, 2))
+        return p
+
+    def test_split_items(self):
+        p = self._manual_packing()
+        assert split_items(p) == [0]
+
+    def test_graph_edges(self):
+        g = split_graph(self._manual_packing())
+        assert g.has_edge(0, 1)
+        assert g[0][1]["items"] == [0]
+
+    def test_chain_detection_positive(self):
+        assert is_chain_structured(self._manual_packing())
+
+    def test_chain_detection_negative_gap(self):
+        items = make_items([Fraction(3, 2)])
+        p = Packing(items=items, k=2)
+        p.new_bin().add(0, Fraction(3, 4))
+        p.new_bin()  # gap
+        p.new_bin().add(0, Fraction(3, 4))
+        assert not is_chain_structured(p)
+
+    def test_statistics_keys(self):
+        stats = split_statistics(self._manual_packing())
+        assert stats["split_items"] == 1
+        assert stats["is_chain"] == 1.0
+        assert stats["bins"] == 2
+
+    def test_coordination_cost(self):
+        edges, cost = coordination_cost(self._manual_packing(), per_edge=2.0)
+        assert edges == 1 and cost == 2.0
+
+    @given(sizes=item_size_lists(min_n=1))
+    @settings(max_examples=50, deadline=None)
+    def test_property_sliding_window_is_chain(self, sizes):
+        """The window packer carries one fractured item bin-to-bin, so its
+        split structure is always a union of consecutive chains."""
+        items = make_items(sizes)
+        for k in (2, 4, 8):
+            p = pack_sliding_window(items, k)
+            assert is_chain_structured(p), split_statistics(p)
+
+    @given(sizes=item_size_lists(min_n=1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_next_fit_also_chain(self, sizes):
+        """NextFit closes bins forward-only, so it is chain-structured
+        too — the difference to the window packer is load, not shape."""
+        items = make_items(sizes)
+        p = pack_next_fit(items, 3)
+        assert is_chain_structured(p)
+
+
+class TestProfiling:
+    def test_profile_call_returns_rows(self):
+        rows = profile_call(lambda: sum(range(10000)), top=5)
+        assert rows
+        assert all(r.cumtime >= 0 for r in rows)
+
+    def test_profile_scheduler_mentions_fractions(self):
+        inst = Instance.from_requirements(
+            4,
+            [Fraction(i + 1, 17) for i in range(20)],
+            sizes=[3] * 20,
+        )
+        rows = profile_scheduler(inst, top=40)
+        assert rows
+        # the exact scheduler's work happens in the repro core modules
+        joined = " ".join(r.function for r in rows)
+        assert "scheduler" in joined or "fractions" in joined
+
+    def test_format_profile(self):
+        rows = profile_call(lambda: None, top=3)
+        out = format_profile(rows)
+        assert "cumtime" in out

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        p = build_parser()
+        for cmd in (
+            ["demo"],
+            ["srj", "-m", "4", "-n", "10"],
+            ["binpack", "-k", "3"],
+            ["tasks", "-m", "6"],
+            ["experiment", "e1"],
+        ):
+            args = p.parse_args(cmd)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "timeline" in out
+
+    def test_srj(self, capsys):
+        assert main(["srj", "-m", "5", "-n", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio=" in out
+
+    def test_binpack(self, capsys):
+        assert main(["binpack", "-k", "3", "-n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "sliding window" in out
+
+    def test_tasks(self, capsys):
+        assert main(["tasks", "-m", "8", "-k", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "sum completion times" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "zzz"]) == 2
+
+    def test_experiment_e8(self, capsys):
+        # e8 is the fastest experiment; run it end-to-end
+        assert main(["experiment", "e8", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "[E8]" in out
+
+
+class TestFileCommands:
+    def test_generate_solve_validate_pipeline(self, tmp_path, capsys):
+        inst_path = tmp_path / "inst.json"
+        sched_path = tmp_path / "sched.json"
+        assert main(
+            [
+                "generate", "--family", "uniform", "-m", "4", "-n", "10",
+                "--seed", "2", "-o", str(inst_path),
+            ]
+        ) == 0
+        assert inst_path.exists()
+        assert main(
+            [
+                "solve", "--input", str(inst_path), "--gantt",
+                "-o", str(sched_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "makespan=" in out
+        assert "p0" in out  # gantt rendered
+        assert main(
+            [
+                "validate", "--instance", str(inst_path),
+                "--schedule", str(sched_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK")
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "-m", "3", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert '"jobs"' in out
+
+    def test_solve_baseline_algorithms(self, tmp_path, capsys):
+        inst_path = tmp_path / "inst.json"
+        main(["generate", "-m", "3", "-n", "8", "-o", str(inst_path)])
+        capsys.readouterr()
+        for algo in ("list", "greedy"):
+            assert main(
+                ["solve", "--input", str(inst_path), "--algorithm", algo]
+            ) == 0
+            assert "makespan=" in capsys.readouterr().out
+
+    def test_validate_rejects_mismatched_schedule(self, tmp_path, capsys):
+        inst_a = tmp_path / "a.json"
+        inst_b = tmp_path / "b.json"
+        sched = tmp_path / "s.json"
+        main(["generate", "-m", "4", "-n", "10", "--seed", "1", "-o", str(inst_a)])
+        main(["generate", "-m", "4", "-n", "10", "--seed", "9", "-o", str(inst_b)])
+        main(["solve", "--input", str(inst_a), "-o", str(sched)])
+        capsys.readouterr()
+        # validating a's schedule against b's instance must fail
+        assert main(
+            ["validate", "--instance", str(inst_b), "--schedule", str(sched)]
+        ) == 1
+        assert "INVALID" in capsys.readouterr().out

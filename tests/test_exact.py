@@ -1,0 +1,113 @@
+"""Tests for the exact solvers (repro.exact) — MILP and brute force."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.instance import Instance
+from repro.core.scheduler import schedule_srj
+from repro.exact import (
+    ExactSolverError,
+    feasible_in,
+    feasible_in_bruteforce,
+    solve_exact,
+    solve_exact_bruteforce,
+)
+
+
+class TestMilpFeasibility:
+    def test_trivial_fit(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 2)])
+        assert feasible_in(inst, 1)
+
+    def test_infeasible_horizon(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 2)], sizes=[3])
+        assert not feasible_in(inst, 2)
+        assert feasible_in(inst, 3)
+
+    def test_resource_contention(self):
+        # two r=1 unit jobs cannot share a step
+        inst = Instance.from_requirements(2, [Fraction(1), Fraction(1)])
+        assert not feasible_in(inst, 1)
+        assert feasible_in(inst, 2)
+
+    def test_processor_contention(self):
+        # three sliver jobs on one processor need three steps
+        inst = Instance.from_requirements(1, [Fraction(1, 100)] * 3)
+        assert not feasible_in(inst, 2)
+        assert feasible_in(inst, 3)
+
+    def test_zero_horizon(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 2)])
+        assert not feasible_in(inst, 0)
+
+    def test_empty_instance(self):
+        inst = Instance.from_requirements(2, [])
+        assert feasible_in(inst, 0)
+
+    def test_splitting_beats_no_splitting(self):
+        # m=2, three unit jobs of r=2/3: OPT=2 needs splitting one job
+        # across both steps (preemptive-style share assignment within a
+        # contiguous run)
+        inst = Instance.from_requirements(2, [Fraction(2, 3)] * 3)
+        assert feasible_in(inst, 2)
+
+
+class TestSolveExact:
+    def test_matches_known_optimum(self):
+        inst = Instance.from_requirements(2, [Fraction(2, 3)] * 3)
+        res = solve_exact(inst)
+        assert res.makespan == 2
+        assert res.lower_bound == 2
+
+    def test_opt_between_lb_and_alg(self):
+        inst = Instance.from_requirements(
+            3, [Fraction(1, 3), Fraction(2, 3), Fraction(1)], sizes=[2, 1, 2]
+        )
+        alg = schedule_srj(inst).makespan
+        res = solve_exact(inst)
+        assert makespan_lower_bound(inst) <= res.makespan <= alg
+
+    def test_horizon_guard(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 2)], sizes=[100])
+        with pytest.raises(ExactSolverError):
+            solve_exact(inst, max_horizon=10)
+
+    def test_empty(self):
+        res = solve_exact(Instance.from_requirements(2, []))
+        assert res.makespan == 0
+
+
+class TestBruteForce:
+    def test_agrees_with_milp_small(self, rng):
+        for _ in range(10):
+            m = rng.randint(2, 3)
+            n = rng.randint(1, 4)
+            reqs = [Fraction(rng.randint(1, 8), 8) for _ in range(n)]
+            inst = Instance.from_requirements(m, reqs)
+            milp_opt = solve_exact(inst).makespan
+            if milp_opt <= 5:
+                bf_opt = solve_exact_bruteforce(inst, max_horizon=6)
+                assert bf_opt == milp_opt, (reqs, m)
+
+    def test_feasibility_asymmetry(self):
+        inst = Instance.from_requirements(2, [Fraction(1), Fraction(1)])
+        assert not feasible_in_bruteforce(inst, 1)
+        assert feasible_in_bruteforce(inst, 2)
+
+    def test_horizon_too_small_raises(self):
+        inst = Instance.from_requirements(1, [Fraction(1)] * 9)
+        with pytest.raises(RuntimeError):
+            solve_exact_bruteforce(inst, max_horizon=3)
+
+
+class TestHardnessGadget:
+    def test_three_partition_opt_is_q(self, rng):
+        """Planted-YES 3-Partition instances have OPT = q (Theorem 2.1
+        gadget); the MILP must confirm it."""
+        from repro.workloads import three_partition_instance
+
+        inst, q = three_partition_instance(rng, q=2)
+        res = solve_exact(inst)
+        assert res.makespan == q

@@ -1,0 +1,144 @@
+"""Tests for certified schedule extraction (repro.exact.extract/flow)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.validate import assert_valid
+from repro.exact import (
+    ExactSolverError,
+    MaxFlow,
+    color_intervals,
+    restore_shares,
+    solve_exact,
+    solve_exact_schedule,
+)
+
+
+class TestMaxFlow:
+    def test_simple_path(self):
+        net = MaxFlow()
+        net.add_edge("s", "a", 5)
+        net.add_edge("a", "t", 3)
+        assert net.max_flow("s", "t") == 3
+
+    def test_parallel_paths(self):
+        net = MaxFlow()
+        net.add_edge("s", "a", 2)
+        net.add_edge("s", "b", 2)
+        net.add_edge("a", "t", 2)
+        net.add_edge("b", "t", 1)
+        assert net.max_flow("s", "t") == 3
+
+    def test_needs_augmenting_through_residual(self):
+        # classic diamond where naive greedy would block
+        net = MaxFlow()
+        net.add_edge("s", "a", 1)
+        net.add_edge("s", "b", 1)
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "t", 1)
+        net.add_edge("b", "t", 1)
+        assert net.max_flow("s", "t") == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MaxFlow().add_edge("s", "t", -1)
+
+    def test_flow_on_reports_used(self):
+        net = MaxFlow()
+        net.add_edge("s", "t", 4)
+        net.max_flow("s", "t")
+        assert net.flow_on("s", "t", 4) == 4
+
+
+class TestRestoreShares:
+    def test_simple_feasible(self):
+        shares = restore_shares(
+            requirements={0: Fraction(1, 2)},
+            totals={0: Fraction(1)},
+            intervals={0: (0, 1)},
+        )
+        assert shares is not None
+        total = sum(s for _, s in shares[0])
+        assert total == 1
+        assert all(s <= Fraction(1, 2) for _, s in shares[0])
+
+    def test_infeasible_interval_too_short(self):
+        shares = restore_shares(
+            requirements={0: Fraction(1, 2)},
+            totals={0: Fraction(1)},
+            intervals={0: (0, 0)},  # one step can deliver only 1/2
+        )
+        assert shares is None
+
+    def test_step_budget_contention(self):
+        # two jobs both needing the full budget in the same single step
+        shares = restore_shares(
+            requirements={0: Fraction(1), 1: Fraction(1)},
+            totals={0: Fraction(1), 1: Fraction(1)},
+            intervals={0: (0, 0), 1: (0, 0)},
+        )
+        assert shares is None
+
+    def test_empty(self):
+        assert restore_shares({}, {}, {}) == {}
+
+    def test_exactness_odd_denominators(self):
+        shares = restore_shares(
+            requirements={0: Fraction(1, 3), 1: Fraction(2, 7)},
+            totals={0: Fraction(2, 3), 1: Fraction(4, 7)},
+            intervals={0: (0, 1), 1: (0, 2)},
+        )
+        assert shares is not None
+        assert sum(s for _, s in shares[0]) == Fraction(2, 3)
+        assert sum(s for _, s in shares[1]) == Fraction(4, 7)
+
+
+class TestColorIntervals:
+    def test_disjoint_share_color(self):
+        colors = color_intervals([(0, 1), (2, 3)], m=1)
+        assert colors == [0, 0]
+
+    def test_overlap_needs_two(self):
+        colors = color_intervals([(0, 2), (1, 3)], m=2)
+        assert colors[0] != colors[1]
+
+    def test_overflow_detected(self):
+        with pytest.raises(ExactSolverError):
+            color_intervals([(0, 1), (0, 1), (0, 1)], m=2)
+
+    def test_empty(self):
+        assert color_intervals([], m=2) == []
+
+
+class TestSolveExactSchedule:
+    def test_certified_optimum(self):
+        inst = Instance.from_requirements(2, [Fraction(2, 3)] * 3)
+        opt, sched = solve_exact_schedule(inst)
+        assert opt == 2
+        assert sched.makespan == opt
+        assert_valid(sched)
+
+    def test_matches_solve_exact(self, rng):
+        for _ in range(8):
+            m = rng.randint(2, 3)
+            n = rng.randint(1, 4)
+            reqs = [Fraction(rng.randint(1, 10), 10) for _ in range(n)]
+            inst = Instance.from_requirements(m, reqs)
+            opt1 = solve_exact(inst).makespan
+            opt2, sched = solve_exact_schedule(inst)
+            assert opt1 == opt2
+            assert sched.makespan >= opt2
+            assert_valid(sched)
+
+    def test_empty_instance(self):
+        inst = Instance.from_requirements(3, [])
+        opt, sched = solve_exact_schedule(inst)
+        assert opt == 0 and sched.makespan == 0
+
+    def test_oversized_requirement(self):
+        inst = Instance.from_requirements(2, [Fraction(5, 2)])
+        opt, sched = solve_exact_schedule(inst)
+        assert opt == 3
+        assert_valid(sched)

@@ -1,0 +1,65 @@
+"""Tests for CSV export (repro.analysis.export)."""
+
+import csv
+import io
+
+from repro.analysis import ExperimentTable, table_to_csv, write_table_csv
+from repro.analysis.export import export_all
+
+
+def sample_table():
+    t = ExperimentTable(
+        id="X", title="demo", headers=["m", "ratio"],
+        notes=["a note, with comma"],
+    )
+    t.add_row(3, 1.25)
+    t.add_row(4, 1.125)
+    return t
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = table_to_csv(sample_table())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["m", "ratio"]
+        assert rows[1] == ["3", "1.25"]
+
+    def test_notes_as_comments(self):
+        text = table_to_csv(sample_table())
+        assert "# a note, with comma" in text
+
+    def test_write_to_file(self, tmp_path):
+        path = write_table_csv(sample_table(), tmp_path / "x.csv")
+        assert path.exists()
+        assert path.read_text().startswith("m,ratio")
+
+    def test_cell_with_comma_quoted(self):
+        t = ExperimentTable(id="X", title="t", headers=["a"])
+        t.add_row("hello, world")
+        rows = list(csv.reader(io.StringIO(table_to_csv(t))))
+        assert rows[1] == ["hello, world"]
+
+
+class TestCliCsvFlag:
+    def test_experiment_with_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "csv"
+        assert main(
+            ["experiment", "e8", "--scale", "small", "--csv", str(out_dir)]
+        ) == 0
+        files = list(out_dir.glob("*.csv"))
+        assert len(files) == 1
+        assert files[0].name == "e8.csv"
+        assert "lemma" in files[0].read_text()
+
+
+class TestExportAll:
+    def test_export_all_writes_only_requested(self, tmp_path, monkeypatch):
+        # patch the registry to two cheap experiments to keep this fast
+        from repro.analysis import experiments
+
+        cheap = {"e8": experiments.ALL_EXPERIMENTS["e8"]}
+        monkeypatch.setattr(experiments, "ALL_EXPERIMENTS", cheap)
+        written = export_all(tmp_path / "out", scale="small")
+        assert [p.name for p in written] == ["e8.csv"]

@@ -1,0 +1,73 @@
+"""Tests for the extension experiments (E10/E11) and figure series (F1-F3)."""
+
+import pytest
+
+from repro.analysis import (
+    ALL_EXPERIMENTS,
+    ALL_FIGURES,
+    run_e10,
+    run_e11,
+    run_f1,
+    run_f3,
+)
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        for name in ("e10", "e11", "f1", "f2", "f3"):
+            assert name in ALL_EXPERIMENTS
+
+    def test_figures_registry(self):
+        assert set(ALL_FIGURES) == {"f1", "f2", "f3"}
+
+
+class TestE10:
+    def test_table_shape(self):
+        table = run_e10(scale="small", seed=0)
+        assert table.id == "E10"
+        assert len(table.rows) == 3  # m in {2, 3, 4}
+        for row in table.rows:
+            # fixed OPT is never above fixed greedy (both relative to LB)
+            assert row[3] <= row[2] + 1e-9
+            # all ratios at least 1
+            for cell in row[2:5]:
+                assert cell >= 1.0 - 1e-9
+
+    def test_free_wins_percentage_bounded(self):
+        table = run_e10(scale="small", seed=3)
+        for row in table.rows:
+            assert 0.0 <= row[5] <= 100.0
+
+
+class TestE11:
+    def test_table_shape(self):
+        table = run_e11(scale="small", seed=0)
+        assert table.id == "E11"
+        for row in table.rows:
+            # both schedulers respect the preemption-proof LB
+            assert row[2] >= 1.0 - 1e-9
+            assert row[3] >= 1.0 - 1e-9
+            assert row[4] > 0
+
+
+class TestFigures:
+    def test_f1_series_monotone_guarantee(self):
+        table = run_f1(scale="small", seed=0)
+        guarantees = [row[-1] for row in table.rows]
+        assert guarantees == sorted(guarantees, reverse=True)
+        # empirical ratios never above the guarantee
+        for row in table.rows:
+            for ratio in row[1:-1]:
+                assert ratio <= row[-1] + 1e-9
+
+    def test_f3_within_guarantee(self):
+        table = run_f3(scale="small", seed=0)
+        for row in table.rows:
+            assert row[1] <= row[3] * 1.25
+            assert row[2] <= row[3] * 1.25
+
+    @pytest.mark.parametrize("name", ["f1", "f3"])
+    def test_render(self, name):
+        table = ALL_FIGURES[name](scale="small", seed=1)
+        out = table.render()
+        assert table.title in out

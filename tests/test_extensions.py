@@ -1,0 +1,194 @@
+"""Tests for the extension modules (weighted SRT, nonlinear response)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.extensions import (
+    NLJob,
+    RESPONSES,
+    linear_response,
+    make_power_response,
+    make_threshold_response,
+    nonlinear_lower_bound,
+    random_weights,
+    schedule_tasks_weight_oblivious,
+    schedule_tasks_weighted,
+    simulate_nonlinear,
+    weighted_srt_lower_bound,
+    weighted_sum,
+)
+from repro.tasks import TaskInstance
+
+from conftest import task_requirement_lists
+
+
+class TestWeightedBounds:
+    def test_unit_weights_match_unweighted_shape(self):
+        ti = TaskInstance.create(
+            6, [[Fraction(1, 2)], [Fraction(1, 4), Fraction(1, 4)]]
+        )
+        w = {0: Fraction(1), 1: Fraction(1)}
+        lb = weighted_srt_lower_bound(ti, w)
+        # fractional Smith bound <= integral Lemma 4.3 bound
+        from repro.tasks import srt_lower_bound
+
+        assert lb <= srt_lower_bound(ti)
+        assert lb > 0
+
+    def test_missing_weight_rejected(self):
+        ti = TaskInstance.create(4, [[Fraction(1, 2)]])
+        with pytest.raises(ValueError):
+            weighted_srt_lower_bound(ti, {})
+
+    def test_nonpositive_weight_rejected(self):
+        ti = TaskInstance.create(4, [[Fraction(1, 2)]])
+        with pytest.raises(ValueError):
+            weighted_srt_lower_bound(ti, {0: Fraction(0)})
+
+    def test_empty_instance(self):
+        ti = TaskInstance(m=4, tasks=())
+        assert weighted_srt_lower_bound(ti, {}) == 0
+
+    @given(lists=task_requirement_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_property_bound_below_both_schedulers(self, lists):
+        ti = TaskInstance.create(8, lists)
+        rng = random.Random(7)
+        w = random_weights(rng, ti)
+        lb = weighted_srt_lower_bound(ti, w)
+        for algo in (schedule_tasks_weighted, schedule_tasks_weight_oblivious):
+            res = algo(ti, w)
+            assert weighted_sum(res, w) >= lb
+
+    def test_high_weight_task_prioritized(self):
+        # two identical tasks; the heavy-weight one must not finish later
+        ti = TaskInstance.create(
+            6, [[Fraction(1, 2), Fraction(1, 2)]] * 2
+        )
+        w = {0: Fraction(1), 1: Fraction(100)}
+        res = schedule_tasks_weighted(ti, w)
+        assert res.completion_times[1] <= res.completion_times[0]
+
+
+class TestWeightedSchedulers:
+    def test_all_tasks_complete(self):
+        ti = TaskInstance.create(
+            8,
+            [[Fraction(1, 2)], [Fraction(1, 20)] * 5, [Fraction(2, 3)] * 2],
+        )
+        w = {0: Fraction(3), 1: Fraction(1), 2: Fraction(2)}
+        res = schedule_tasks_weighted(ti, w)
+        assert set(res.completion_times) == {0, 1, 2}
+
+    def test_small_m_fallback(self):
+        ti = TaskInstance.create(2, [[Fraction(1, 2)], [Fraction(1, 4)]])
+        w = {0: Fraction(1), 1: Fraction(5)}
+        res = schedule_tasks_weighted(ti, w)
+        assert res.algorithm == "weighted-fallback"
+
+    def test_random_weights_positive(self, rng):
+        ti = TaskInstance.create(6, [[Fraction(1, 2)]] * 4)
+        w = random_weights(rng, ti)
+        assert all(v > 0 for v in w.values())
+        assert set(w) == {0, 1, 2, 3}
+
+
+class TestResponseCurves:
+    def test_linear(self):
+        assert linear_response(0.5) == 0.5
+
+    @pytest.mark.parametrize("beta,x,expected_rel", [
+        (0.5, 0.25, "ge"),   # concave: g(x) >= x
+        (2.0, 0.25, "le"),   # convex: g(x) <= x
+    ])
+    def test_power_shapes(self, beta, x, expected_rel):
+        g = make_power_response(beta)
+        if expected_rel == "ge":
+            assert g(x) >= x
+        else:
+            assert g(x) <= x
+        assert g(0.0) == 0.0 and g(1.0) == 1.0
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            make_power_response(0)
+
+    def test_threshold(self):
+        g = make_threshold_response(0.25)
+        assert g(0.1) == 0.0
+        assert g(1.0) == pytest.approx(1.0)
+        assert 0 < g(0.5) < 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            make_threshold_response(1.0)
+
+    def test_registry_normalized(self):
+        for name, g in RESPONSES.items():
+            assert g(0.0) == pytest.approx(0.0), name
+            assert g(1.0) == pytest.approx(1.0), name
+
+
+class TestNonlinearSimulator:
+    def _jobs(self, n=10, seed=1):
+        rng = random.Random(seed)
+        return [
+            NLJob(id=i, size=float(rng.randint(1, 4)),
+                  requirement=rng.randint(2, 20) / 20.0)
+            for i in range(n)
+        ]
+
+    def test_all_jobs_finish(self):
+        jobs = self._jobs()
+        res = simulate_nonlinear(jobs, 4, linear_response)
+        assert set(res.completion_times) == {j.id for j in jobs}
+        assert res.makespan == max(res.completion_times.values())
+
+    def test_lower_bound_respected(self):
+        jobs = self._jobs()
+        for g in RESPONSES.values():
+            for policy in ("window", "full_only"):
+                res = simulate_nonlinear(jobs, 4, g, policy=policy)
+                assert res.makespan >= nonlinear_lower_bound(jobs, 4)
+
+    def test_linear_window_beats_or_ties_full_only(self):
+        jobs = self._jobs(n=30, seed=3)
+        w = simulate_nonlinear(jobs, 4, linear_response, policy="window")
+        f = simulate_nonlinear(jobs, 4, linear_response, policy="full_only")
+        assert w.makespan <= f.makespan
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_nonlinear([], 0, linear_response)
+        with pytest.raises(ValueError):
+            simulate_nonlinear([], 2, linear_response, policy="bogus")
+        with pytest.raises(ValueError):
+            NLJob(id=0, size=0.0, requirement=0.5)
+
+    def test_empty(self):
+        res = simulate_nonlinear([], 4, linear_response)
+        assert res.makespan == 0
+        assert nonlinear_lower_bound([], 4) == 0
+
+    def test_concave_speeds_up_window(self):
+        """g(x) >= x means partial shares are worth more: the window policy
+        cannot be slower under concave response than under linear."""
+        jobs = self._jobs(n=40, seed=5)
+        lin = simulate_nonlinear(jobs, 4, linear_response, policy="window")
+        con = simulate_nonlinear(
+            jobs, 4, make_power_response(0.5), policy="window"
+        )
+        assert con.makespan <= lin.makespan
+
+    def test_full_only_response_agnostic(self):
+        """Full allocations always give x = 1, so the list scheduler's
+        makespan is identical under every response curve."""
+        jobs = self._jobs(n=25, seed=9)
+        spans = {
+            name: simulate_nonlinear(jobs, 4, g, policy="full_only").makespan
+            for name, g in RESPONSES.items()
+        }
+        assert len(set(spans.values())) == 1, spans

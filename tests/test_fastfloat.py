@@ -1,0 +1,76 @@
+"""Tests for the float fast path (repro.core.fastfloat)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fastfloat import fast_pack_bins, fast_unit_makespan
+from repro.core.instance import Instance
+from repro.core.unit import schedule_unit
+
+#: dyadic requirements are exactly representable in floats, so the mirror
+#: must agree with the exact scheduler *exactly* on them
+dyadic = st.builds(Fraction, st.integers(min_value=1, max_value=128), st.just(128))
+
+
+class TestBasics:
+    def test_empty(self):
+        assert fast_unit_makespan([], 3) == 0
+
+    def test_single(self):
+        assert fast_unit_makespan([0.5], 3) == 1
+
+    def test_oversized(self):
+        assert fast_unit_makespan([2.5], 3) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fast_unit_makespan([0.5], 0)
+        with pytest.raises(ValueError):
+            fast_unit_makespan([0.0], 2)
+        with pytest.raises(ValueError):
+            fast_unit_makespan([0.5], 2, budget=0.0)
+
+    def test_perfect_packing(self):
+        assert fast_unit_makespan([0.5] * 4, 2) == 2
+
+    def test_cardinality_cap(self):
+        assert fast_unit_makespan([0.01] * 9, 3) == 3
+
+
+class TestExactAgreement:
+    @given(
+        m=st.integers(min_value=2, max_value=10),
+        reqs=st.lists(dyadic, min_size=1, max_size=25),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_exact_scheduler(self, m, reqs):
+        inst = Instance.from_requirements(m, reqs)
+        exact = schedule_unit(inst).makespan
+        fast = fast_unit_makespan([float(r) for r in reqs], m)
+        assert exact == fast
+
+    def test_large_instance_sane(self):
+        import random
+
+        rng = random.Random(1)
+        reqs = [rng.randint(1, 64) / 64 for _ in range(5000)]
+        makespan = fast_unit_makespan(reqs, 16)
+        total = sum(reqs)
+        assert makespan >= total - 1  # resource lower bound
+        # Corollary 3.9 guarantee envelope
+        assert makespan <= (16 / 15) * (total + 1) + 2
+
+
+class TestFastPack:
+    def test_info_bounds(self):
+        bins, info = fast_pack_bins([0.6, 0.6, 0.6], 2)
+        assert bins >= info["volume_lb"] == 2
+        assert info["cardinality_lb"] == 2
+
+    def test_empty(self):
+        bins, info = fast_pack_bins([], 4)
+        assert bins == 0
+        assert info["cardinality_lb"] == 0

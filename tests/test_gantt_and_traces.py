@@ -1,0 +1,90 @@
+"""Tests for the Gantt renderer and the trace-flavored workloads."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import render_gantt, render_utilization_sparkline
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.scheduler import schedule_srj
+from repro.tasks import schedule_tasks, srt_lower_bound
+from repro.workloads import (
+    synthesize_bursts,
+    trace_instance,
+    trace_taskset,
+)
+
+
+class TestGantt:
+    def test_renders_all_processors(self, small_instance):
+        schedule = schedule_srj(small_instance).schedule()
+        out = render_gantt(schedule)
+        for i in range(small_instance.m):
+            assert f"p{i}" in out
+        assert "res" in out
+
+    def test_job_ids_appear(self, small_instance):
+        schedule = schedule_srj(small_instance).schedule()
+        out = render_gantt(schedule)
+        for job in small_instance.jobs:
+            assert str(job.id) in out
+
+    def test_truncation(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 2)], sizes=[50])
+        schedule = schedule_srj(inst).schedule()
+        out = render_gantt(schedule, max_width=10)
+        assert "truncated at 10 of 50 steps" in out
+
+    def test_empty_schedule(self):
+        inst = Instance.from_requirements(2, [])
+        out = render_gantt(Schedule(instance=inst))
+        assert "p0" in out  # rows exist even with zero steps
+
+    def test_sparkline_lengths(self, small_instance):
+        schedule = schedule_srj(small_instance).schedule()
+        spark = render_utilization_sparkline(schedule)
+        assert len(spark) == schedule.makespan
+
+    def test_sparkline_buckets_long_schedules(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 2)], sizes=[500])
+        schedule = schedule_srj(inst).schedule()
+        spark = render_utilization_sparkline(schedule, max_width=50)
+        assert len(spark) == 50
+
+    def test_sparkline_empty(self):
+        inst = Instance.from_requirements(2, [])
+        assert "empty" in render_utilization_sparkline(Schedule(instance=inst))
+
+
+class TestTraces:
+    def test_bursts_have_classes(self, rng):
+        bursts = synthesize_bursts(rng, 20)
+        assert len(bursts) == 20
+        classes = {b.app_class for b in bursts}
+        assert classes <= {"web", "analytics", "backup", "ml-train", "shuffle"}
+        for b in bursts:
+            assert len(b.sizes) == len(b.requirements) >= 1
+            assert all(r > 0 for r in b.requirements)
+
+    def test_bursts_validation(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_bursts(rng, 0)
+
+    def test_trace_instance_schedulable(self, rng):
+        inst, bursts = trace_instance(rng, 8, 10)
+        assert inst.n == sum(len(b.sizes) for b in bursts)
+        res = schedule_srj(inst)
+        assert res.makespan > 0
+
+    def test_trace_taskset_schedulable(self, rng):
+        ti = trace_taskset(rng, 8, 10)
+        assert ti.k == 10
+        res = schedule_tasks(ti)
+        assert res.sum_completion_times() >= srt_lower_bound(ti)
+
+    def test_deterministic_under_seed(self):
+        a = synthesize_bursts(random.Random(5), 8)
+        b = synthesize_bursts(random.Random(5), 8)
+        assert a == b

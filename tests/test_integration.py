@@ -1,0 +1,122 @@
+"""End-to-end integration tests: experiments, examples, cross-pipelines."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_EXPERIMENTS
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestExperimentHarness:
+    """Every experiment runs at small scale and yields a plausible table."""
+
+    @pytest.mark.parametrize("name", ["e1", "e2", "e3", "e5", "e7", "e8", "e9"])
+    def test_experiment_produces_rows(self, name):
+        table = ALL_EXPERIMENTS[name](scale="small", seed=1)
+        assert table.rows, name
+        assert table.id.lower() == name
+        rendered = table.render()
+        assert table.title in rendered
+
+    def test_e1_ratios_within_guarantee(self):
+        table = ALL_EXPERIMENTS["e1"](scale="small", seed=2)
+        for row in table.rows:
+            max_ratio, bound = row[4], row[5]
+            assert max_ratio <= bound + 1e-9, row
+
+    def test_e8_no_lemma_violations(self):
+        table = ALL_EXPERIMENTS["e8"](scale="small", seed=2)
+        for row in table.rows:
+            assert row[3] == 0, row
+
+    def test_e4_runtime_scales_subquadratically(self):
+        table = ALL_EXPERIMENTS["e4"](scale="small", seed=0)
+        # the fitted exponent note must exist and stay clearly below cubic
+        note = next(n for n in table.notes if "n^" in n)
+        exponent = float(note.split("n^")[1].split(" ")[0])
+        assert exponent < 2.7, note
+
+    def test_e6_exact_small(self):
+        table = ALL_EXPERIMENTS["e6"](scale="small", seed=0)
+        for row in table.rows:
+            assert row[3] >= 1.0 - 1e-9  # ALG/OPT >= 1
+            assert row[5] >= 1.0 - 1e-9  # OPT/LB >= 1
+
+    def test_markdown_rendering(self):
+        table = ALL_EXPERIMENTS["e8"](scale="small", seed=0)
+        md = table.to_markdown()
+        assert md.count("|") > 10
+
+
+class TestExamples:
+    """Each shipped example runs to completion."""
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "bandwidth_datacenter.py",
+            "cloud_composed_services.py",
+            "router_memory_packing.py",
+            "priorities_and_robustness.py",
+        ],
+    )
+    def test_example_runs(self, script, capsys):
+        path = REPO / "examples" / script
+        assert path.exists()
+        runpy.run_path(str(path), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report
+
+
+class TestCliEntrypoint:
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "demo"],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0
+        assert "makespan" in proc.stdout
+
+
+class TestCrossPipelines:
+    def test_binpacking_equals_unit_scheduling(self, rng):
+        """Corollary 3.9 wiring: packing bins == unit-schedule steps."""
+        from fractions import Fraction
+
+        from repro.binpacking import (
+            items_to_instance,
+            make_items,
+            pack_sliding_window,
+        )
+        from repro.core.unit import schedule_unit
+
+        for _ in range(20):
+            k = rng.randint(2, 6)
+            sizes = [
+                Fraction(rng.randint(1, 30), 20)
+                for _ in range(rng.randint(1, 15))
+            ]
+            items = make_items(sizes)
+            packing = pack_sliding_window(items, k)
+            result = schedule_unit(items_to_instance(items, k))
+            assert packing.num_bins == result.makespan
+
+    def test_planted_instances_give_exact_ratio(self, rng):
+        """The planted-OPT pipeline: measured ratio uses the true optimum."""
+        from repro.core.bounds import makespan_lower_bound
+        from repro.core.scheduler import schedule_srj
+        from repro.workloads import planted_instance
+
+        for _ in range(10):
+            inst, opt = planted_instance(rng, 5, 12)
+            assert makespan_lower_bound(inst) == opt
+            res = schedule_srj(inst)
+            assert opt <= res.makespan <= (2 + 1 / 3) * opt + 1

@@ -1,0 +1,104 @@
+"""Tests for JSON serialization (repro.io)."""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.instance import Instance
+from repro.core.scheduler import schedule_srj
+from repro.core.validate import assert_valid
+from repro.io import (
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+    schedule_from_json,
+    schedule_to_json,
+    task_instance_from_json,
+    task_instance_to_json,
+)
+from repro.tasks import TaskInstance
+
+from conftest import srj_instances
+
+
+class TestInstanceRoundTrip:
+    def test_basic(self, small_instance):
+        text = instance_to_json(small_instance)
+        back = instance_from_json(text)
+        assert back.m == small_instance.m
+        assert [j.requirement for j in back.jobs] == [
+            j.requirement for j in small_instance.jobs
+        ]
+        assert [j.size for j in back.jobs] == [
+            j.size for j in small_instance.jobs
+        ]
+
+    def test_original_order_preserved(self):
+        inst = Instance.from_requirements(
+            2, [Fraction(3, 4), Fraction(1, 4)]
+        )
+        doc = instance_to_dict(inst)
+        # serialized in the caller's original order, not canonical
+        assert doc["jobs"][0]["requirement"] == "3/4"
+        assert doc["jobs"][1]["requirement"] == "1/4"
+
+    def test_exact_fractions(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 3)])
+        text = instance_to_json(inst)
+        assert '"1/3"' in text
+        assert instance_from_json(text).jobs[0].requirement == Fraction(1, 3)
+
+    @given(inst=srj_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, inst):
+        back = instance_from_json(instance_to_json(inst))
+        assert back == inst
+
+    def test_malformed_documents(self):
+        with pytest.raises(ValueError):
+            instance_from_dict({"jobs": []})  # missing m
+        with pytest.raises(ValueError):
+            instance_from_dict({"m": 2, "jobs": [{"size": 1}]})
+        with pytest.raises(ValueError):
+            instance_from_dict(
+                {"m": 2, "jobs": [{"requirement": "1/0"}]}
+            )
+
+    def test_int_and_float_requirements_accepted(self):
+        inst = instance_from_dict(
+            {"m": 2, "jobs": [{"requirement": 1}, {"requirement": 0.5}]}
+        )
+        assert inst.jobs[0].requirement == Fraction(1, 2)
+        assert inst.jobs[1].requirement == Fraction(1)
+
+
+class TestTaskInstanceRoundTrip:
+    def test_round_trip(self):
+        ti = TaskInstance.create(
+            6, [[Fraction(1, 2), Fraction(1, 3)], [Fraction(1, 5)]]
+        )
+        back = task_instance_from_json(task_instance_to_json(ti))
+        assert back == ti
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            task_instance_from_json(json.dumps({"m": 2}))
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip_preserves_validity(self, small_instance):
+        schedule = schedule_srj(small_instance).schedule()
+        text = schedule_to_json(schedule)
+        back = schedule_from_json(text, small_instance)
+        assert back.makespan == schedule.makespan
+        assert_valid(back)
+        assert back.completion_times() == schedule.completion_times()
+
+    def test_malformed_schedule(self, small_instance):
+        with pytest.raises(ValueError):
+            schedule_from_json(
+                json.dumps({"steps": [[{"job": 0}]]}), small_instance
+            )

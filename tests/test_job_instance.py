@@ -1,0 +1,148 @@
+"""Tests for the job and instance model (repro.core.job / instance)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.core.instance import Instance
+from repro.core.job import Job, JobPiece, make_job
+
+from conftest import srj_instances
+
+
+class TestJob:
+    def test_basic_construction(self):
+        j = make_job(0, 3, Fraction(1, 2))
+        assert j.size == 3
+        assert j.requirement == Fraction(1, 2)
+        assert j.total_requirement == Fraction(3, 2)
+
+    def test_float_requirement_converted(self):
+        j = make_job(0, 1, 0.25)
+        assert j.requirement == Fraction(1, 4)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id=-1, size=1, requirement=Fraction(1, 2))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id=0, size=0, requirement=Fraction(1, 2))
+
+    def test_non_integer_size_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id=0, size=1.5, requirement=Fraction(1, 2))  # type: ignore
+
+    def test_zero_requirement_rejected(self):
+        with pytest.raises(ValueError):
+            Job(id=0, size=1, requirement=Fraction(0))
+
+    def test_min_steps_small_requirement(self):
+        # r <= 1: the job can finish one volume unit per step
+        j = make_job(0, 4, Fraction(1, 3))
+        assert j.min_steps == 4
+
+    def test_min_steps_oversized_requirement(self):
+        # r = 3/2 > 1: each step gives at most 1 resource of s = 3
+        j = make_job(0, 2, Fraction(3, 2))
+        assert j.min_steps == 3
+
+    def test_with_id(self):
+        j = make_job(5, 2, Fraction(1, 2))
+        j2 = j.with_id(0)
+        assert j2.id == 0 and j2.size == 2 and j2.requirement == j.requirement
+
+
+class TestJobPiece:
+    def test_valid(self):
+        p = JobPiece(job_id=0, processor=1, share=Fraction(1, 2))
+        assert p.share == Fraction(1, 2)
+
+    def test_negative_processor_rejected(self):
+        with pytest.raises(ValueError):
+            JobPiece(job_id=0, processor=-1, share=Fraction(1, 2))
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            JobPiece(job_id=0, processor=0, share=Fraction(-1, 2))
+
+
+class TestInstance:
+    def test_canonical_ordering(self):
+        inst = Instance.from_requirements(
+            2, [Fraction(3, 4), Fraction(1, 4), Fraction(1, 2)]
+        )
+        reqs = [j.requirement for j in inst.jobs]
+        assert reqs == sorted(reqs)
+        # ids re-indexed 0..n-1
+        assert [j.id for j in inst.jobs] == [0, 1, 2]
+        # original ids recoverable
+        assert inst.original_ids == (1, 2, 0)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Instance.create(
+                2,
+                [make_job(0, 1, Fraction(1, 2)), make_job(0, 1, Fraction(1, 3))],
+            )
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            Instance.from_requirements(0, [Fraction(1, 2)])
+
+    def test_unsorted_direct_construction_rejected(self):
+        jobs = (
+            make_job(0, 1, Fraction(3, 4)),
+            make_job(1, 1, Fraction(1, 4)),
+        )
+        with pytest.raises(ValueError):
+            Instance(m=2, jobs=jobs, original_ids=(0, 1))
+
+    def test_unit_size_detection(self):
+        unit = Instance.from_requirements(2, [Fraction(1, 2), Fraction(1, 3)])
+        assert unit.is_unit_size
+        general = Instance.from_requirements(
+            2, [Fraction(1, 2)], sizes=[2]
+        )
+        assert not general.is_unit_size
+
+    def test_total_work(self):
+        inst = Instance.from_requirements(
+            2, [Fraction(1, 2), Fraction(1, 4)], sizes=[2, 4]
+        )
+        assert inst.total_work() == Fraction(2)
+
+    def test_total_steps_lower(self):
+        inst = Instance.from_requirements(
+            2, [Fraction(1, 2), Fraction(1, 4)], sizes=[2, 4]
+        )
+        # sum p_j since r <= 1
+        assert inst.total_steps_lower() == 6
+
+    def test_sizes_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Instance.from_requirements(2, [Fraction(1, 2)], sizes=[1, 2])
+
+    def test_from_real_sizes_preserves_s(self):
+        # p = 2.5, r = 0.4 -> s = 1; rescaled: p' = 3, r' = 1/3
+        inst = Instance.from_real_sizes(
+            2, [Fraction(2, 5)], [Fraction(5, 2)]
+        )
+        job = inst.jobs[0]
+        assert job.size == 3
+        assert job.total_requirement == Fraction(1)
+
+    def test_from_real_sizes_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Instance.from_real_sizes(2, [Fraction(1, 2)], [Fraction(0)])
+
+    @given(inst=srj_instances())
+    def test_property_canonical_invariants(self, inst):
+        reqs = [j.requirement for j in inst.jobs]
+        assert reqs == sorted(reqs)
+        assert [j.id for j in inst.jobs] == list(range(inst.n))
+        assert sorted(inst.original_ids) == list(range(inst.n))
+        assert inst.total_work() == sum(
+            (j.total_requirement for j in inst.jobs), Fraction(0)
+        )

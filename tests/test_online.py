@@ -1,0 +1,149 @@
+"""Tests for the online-arrivals extension (repro.online)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.online import (
+    OnlineInstance,
+    OnlineJob,
+    burst_instance,
+    online_lower_bound,
+    poisson_like_instance,
+    schedule_online,
+    schedule_online_list,
+)
+
+
+@st.composite
+def online_instances(draw):
+    m = draw(st.integers(min_value=2, max_value=6))
+    n = draw(st.integers(min_value=1, max_value=12))
+    entries = [
+        (
+            draw(st.integers(min_value=1, max_value=8)),
+            draw(st.integers(min_value=1, max_value=3)),
+            Fraction(
+                draw(st.integers(min_value=1, max_value=24)),
+                draw(st.integers(min_value=8, max_value=24)),
+            ),
+        )
+        for _ in range(n)
+    ]
+    return OnlineInstance.create(m, entries)
+
+
+class TestModel:
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            OnlineJob(id=0, release=0, size=1, requirement=Fraction(1, 2))
+        with pytest.raises(ValueError):
+            OnlineJob(id=0, release=1, size=0, requirement=Fraction(1, 2))
+        with pytest.raises(ValueError):
+            OnlineJob(id=0, release=1, size=1, requirement=Fraction(0))
+
+    def test_sorted_by_release(self):
+        inst = OnlineInstance.create(
+            2, [(5, 1, Fraction(1, 2)), (1, 1, Fraction(1, 3))]
+        )
+        assert [j.release for j in inst.jobs] == [1, 5]
+
+    def test_released_by(self):
+        inst = OnlineInstance.create(
+            2, [(1, 1, Fraction(1, 2)), (4, 1, Fraction(1, 3))]
+        )
+        assert len(inst.released_by(1)) == 1
+        assert len(inst.released_by(4)) == 2
+
+    def test_to_offline_preserves_jobs(self):
+        inst = OnlineInstance.create(
+            3, [(2, 2, Fraction(1, 2)), (1, 1, Fraction(1, 4))]
+        )
+        off = inst.to_offline()
+        assert off.n == 2 and off.m == 3
+
+    def test_lower_bound_components(self):
+        # a single late-released job forces release + solo time
+        inst = OnlineInstance.create(2, [(10, 3, Fraction(1, 2))])
+        assert online_lower_bound(inst) == 9 + 3
+
+    def test_suffix_load_bound(self):
+        # big load arriving late can dominate
+        inst = OnlineInstance.create(
+            2,
+            [(1, 1, Fraction(1, 100))]
+            + [(6, 1, Fraction(1))] * 4,
+        )
+        # suffix at t=6: 5 + ceil(4) = 9
+        assert online_lower_bound(inst) >= 9
+
+    def test_empty(self):
+        assert online_lower_bound(OnlineInstance(m=2, jobs=())) == 0
+
+
+class TestSchedulers:
+    @given(inst=online_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_property_window_completes_all_after_release(self, inst):
+        res = schedule_online(inst)
+        assert set(res.completion_times) == {j.id for j in inst.jobs}
+        for j in inst.jobs:
+            assert res.completion_times[j.id] >= j.release
+        assert res.makespan >= online_lower_bound(inst)
+
+    @given(inst=online_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_property_list_baseline_valid(self, inst):
+        res = schedule_online_list(inst)
+        assert set(res.completion_times) == {j.id for j in inst.jobs}
+        assert res.makespan >= online_lower_bound(inst)
+
+    def test_idle_until_first_release(self):
+        inst = OnlineInstance.create(2, [(4, 1, Fraction(1, 2))])
+        res = schedule_online(inst)
+        assert res.completion_times[0] == 4
+        assert res.utilization[:3] == [Fraction(0)] * 3
+
+    def test_all_released_at_once_matches_offline(self):
+        """Release-1 instances are offline instances; the online scheduler
+        must produce the same makespan as the offline algorithm."""
+        from repro.core.scheduler import schedule_srj
+
+        rng = random.Random(3)
+        for _ in range(15):
+            m = rng.randint(2, 6)
+            entries = [
+                (1, rng.randint(1, 3), Fraction(rng.randint(1, 20), 20))
+                for _ in range(rng.randint(1, 10))
+            ]
+            inst = OnlineInstance.create(m, entries)
+            online_res = schedule_online(inst)
+            offline_res = schedule_srj(inst.to_offline())
+            assert online_res.makespan == offline_res.makespan
+
+    def test_single_fracture_invariant_held(self):
+        """Regression: arrivals used to allow a second fractured job via a
+        premature reserved-processor start."""
+        rng = random.Random(13)
+        for _ in range(40):
+            m = rng.randint(2, 8)
+            inst = poisson_like_instance(
+                rng, m, rng.randint(1, 25),
+                arrival_prob=rng.choice([0.2, 0.5, 0.9]),
+            )
+            schedule_online(inst)  # raises on invariant breach
+
+
+class TestWorkloads:
+    def test_poisson_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_like_instance(rng, 4, 5, arrival_prob=0.0)
+
+    def test_burst_pattern(self, rng):
+        inst = burst_instance(rng, 4, bursts=3, burst_size=5, gap=7)
+        releases = sorted({j.release for j in inst.jobs})
+        assert releases == [1, 8, 15]
+        assert inst.n == 15

@@ -1,0 +1,70 @@
+"""Package integrity: every module imports, public APIs are exposed."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    # __main__ runs the CLI on import — exclude it from the import sweep
+    if not name.endswith("__main__")
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("module", ALL_MODULES)
+    def test_every_module_imports(self, module):
+        importlib.import_module(module)
+
+    def test_expected_subpackages_present(self):
+        names = set(ALL_MODULES)
+        for pkg in (
+            "repro.core", "repro.binpacking", "repro.tasks", "repro.exact",
+            "repro.assigned", "repro.baselines", "repro.simulator",
+            "repro.online", "repro.extensions", "repro.workloads",
+            "repro.analysis", "repro.cli", "repro.io", "repro.numeric",
+        ):
+            assert pkg in names, f"missing {pkg}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "pkg",
+        [
+            "repro.core", "repro.binpacking", "repro.tasks",
+            "repro.exact", "repro.assigned", "repro.simulator",
+            "repro.online", "repro.extensions", "repro.workloads",
+            "repro.analysis", "repro.baselines",
+        ],
+    )
+    def test_subpackage_all_resolves(self, pkg):
+        module = importlib.import_module(pkg)
+        assert module.__all__, pkg
+        for name in module.__all__:
+            assert hasattr(module, name), f"{pkg}.{name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", ALL_MODULES)
+    def test_every_module_has_a_docstring(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20, module
+
+    def test_public_callables_documented(self):
+        """Every name exported from the top-level package is documented."""
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            assert getattr(obj, "__doc__", None), name

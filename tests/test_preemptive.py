@@ -1,0 +1,76 @@
+"""Tests for the preemptive relaxation (repro.core.preemptive)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.instance import Instance
+from repro.core.preemptive import (
+    preemptive_gap_to_lower_bound,
+    price_of_nonpreemption,
+    schedule_preemptive,
+)
+
+from conftest import srj_instances
+
+
+class TestBasics:
+    def test_single_job(self):
+        inst = Instance.from_requirements(3, [Fraction(1, 2)], sizes=[4])
+        res = schedule_preemptive(inst)
+        assert res.makespan == 4
+        assert res.completion_times == {0: 4}
+
+    def test_perfect_parallelism(self):
+        inst = Instance.from_requirements(4, [Fraction(1, 4)] * 4, sizes=[3] * 4)
+        res = schedule_preemptive(inst)
+        assert res.makespan == 3  # all four fit each step
+
+    def test_preemption_can_beat_nonpreemptive_lb_gap(self):
+        # jobs of r slightly over 1/2 on m=2: preemptive splits freely
+        inst = Instance.from_requirements(2, [Fraction(51, 100)] * 4)
+        res = schedule_preemptive(inst)
+        assert res.makespan >= makespan_lower_bound(inst)
+
+    def test_invalid_budget(self):
+        inst = Instance.from_requirements(2, [Fraction(1, 2)])
+        with pytest.raises(ValueError):
+            schedule_preemptive(inst, budget=Fraction(0))
+
+    def test_resource_respected(self):
+        inst = Instance.from_requirements(
+            3, [Fraction(1, 2), Fraction(2, 3), Fraction(3, 4)], sizes=[2, 2, 2]
+        )
+        res = schedule_preemptive(inst)
+        assert all(u <= 1 for u in res.utilization)
+        assert res.makespan == len(res.utilization)
+
+
+class TestRelations:
+    @given(inst=srj_instances(min_m=2, max_m=8, max_n=10))
+    @settings(max_examples=60, deadline=None)
+    def test_property_lb_holds_under_preemption(self, inst):
+        """Eq.(1) is preemption-proof (paper, below Eq.(1))."""
+        res = schedule_preemptive(inst)
+        assert res.makespan >= makespan_lower_bound(inst)
+
+    @given(inst=srj_instances(min_m=3, max_m=8, max_n=10))
+    @settings(max_examples=40, deadline=None)
+    def test_property_ratio_helpers(self, inst):
+        gap = preemptive_gap_to_lower_bound(inst)
+        price = price_of_nonpreemption(inst)
+        assert gap >= 1
+        assert price > 0
+
+    def test_empty_instance_helpers(self):
+        inst = Instance.from_requirements(3, [])
+        assert price_of_nonpreemption(inst) == 1
+        assert preemptive_gap_to_lower_bound(inst) == 1
+
+    @given(inst=srj_instances(min_m=2, max_m=6, max_n=8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_all_jobs_finish(self, inst):
+        res = schedule_preemptive(inst)
+        assert set(res.completion_times) == {j.id for j in inst.jobs}

@@ -1,0 +1,168 @@
+"""Cross-module property-based invariants — the deep checks of DESIGN.md §7.
+
+These hypothesis tests exercise the whole pipeline (windows → assignment →
+state → schedule → validation) on random instances and assert the paper's
+structural invariants, not just end results.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.core.assignment import compute_assignment
+from repro.core.bounds import makespan_lower_bound
+from repro.core.instance import Instance
+from repro.core.scheduler import SlidingWindowScheduler, schedule_srj
+from repro.core.state import SchedulerState
+from repro.core.unit import schedule_unit
+from repro.core.window import compute_window, is_k_maximal, window_violations
+
+from conftest import srj_instances
+
+ONE = Fraction(1)
+
+
+@given(inst=srj_instances(min_m=3, max_m=8, max_n=10))
+@settings(max_examples=60, deadline=None)
+def test_window_maximality_every_step(inst):
+    """Lemma 3.7: the processed window is (m-1)-maximal in EVERY step."""
+    size = inst.m - 1
+    state = SchedulerState(inst)
+    window = []
+    guard = 0
+    while state.n_unfinished() > 0 and guard < 3000:
+        guard += 1
+        window = compute_window(state, window, size, ONE)
+        assert is_k_maximal(state, window, size, ONE), window_violations(
+            state, window, size, ONE
+        )
+        a = compute_assignment(state, window, ONE)
+        state.apply_step(a.shares)
+        if a.extra_started is not None:
+            window = sorted(set(window) | {a.extra_started})
+    assert state.n_unfinished() == 0
+
+
+@given(inst=srj_instances(min_m=2, max_m=8, max_n=10))
+@settings(max_examples=60, deadline=None)
+def test_at_most_one_fractured_job_always(inst):
+    """The fracture discipline: never more than one fractured job."""
+    state = SchedulerState(inst)
+    window = []
+    size = max(inst.m - 1, 1)
+    guard = 0
+    while state.n_unfinished() > 0 and guard < 3000:
+        guard += 1
+        window = compute_window(state, window, size, ONE)
+        a = compute_assignment(state, window, ONE)
+        state.apply_step(a.shares)
+        if a.extra_started is not None:
+            window = sorted(set(window) | {a.extra_started})
+        assert len(state.fractured_jobs()) <= 1
+
+
+@given(inst=srj_instances(min_m=3, max_m=8, max_n=10))
+@settings(max_examples=50, deadline=None)
+def test_theorem_33_dichotomy_before_drain(inst):
+    """Up to time T (both borders reached), every step serves >= m-2 jobs
+    fully, uses the full resource, or finishes a job — the accounting
+    behind Theorem 3.3 (finishing steps are the ``⌈p⌉`` term)."""
+    from repro.numeric import frac_sum
+
+    res = schedule_srj(inst)
+    m = inst.m
+    remaining = {j.id: j.total_requirement for j in inst.jobs}
+    drained = False
+    for run in res.trace:
+        r_w = frac_sum(inst.requirement(j) for j in run.window)
+        if len(run.window) < m - 1 and r_w < 1:
+            drained = True
+        finishes = any(
+            remaining[j] <= run.count * share
+            for j, share in run.shares.items()
+        )
+        for j, share in run.shares.items():
+            remaining[j] -= run.count * share
+        if drained:
+            continue
+        full_served = sum(
+            1
+            for j, share in run.shares.items()
+            if share == inst.requirement(j)
+        )
+        total = frac_sum(run.shares.values())
+        assert full_served >= m - 2 or total >= 1 or finishes, (
+            run.window, dict(run.shares),
+        )
+
+
+@given(inst=srj_instances(min_m=2, max_m=8, max_n=10))
+@settings(max_examples=50, deadline=None)
+def test_window_borders_are_absorbing(inst):
+    """Lemma 3.8: once the window touches the left (right) border it stays
+    there (tracked over the trace windows)."""
+    res = schedule_srj(inst)
+    finished_at_run = []
+    remaining = {j.id for j in inst.jobs}
+    left_border_seen = False
+    right_border_seen = False
+    for run in res.trace:
+        if not run.window:
+            continue
+        alive_left = any(j < run.window[0] for j in remaining)
+        alive_right = any(j > run.window[-1] for j in remaining)
+        extra = set(run.shares) - set(run.window)
+        # the reserved-processor start may momentarily extend the window
+        if extra:
+            alive_right = any(
+                j > max(run.window + sorted(extra)) for j in remaining
+            )
+        if left_border_seen:
+            assert not alive_left, "left border was lost"
+        if right_border_seen:
+            assert not alive_right, "right border was lost"
+        left_border_seen = left_border_seen or not alive_left
+        right_border_seen = right_border_seen or not alive_right
+        # update the remaining set after this run
+        for j, share in run.shares.items():
+            pass
+        # recompute from completion times
+        t_end = sum(r.count for r in res.trace[: res.trace.index(run) + 1])
+        remaining = {
+            j for j, ct in res.completion_times.items() if ct > t_end
+        } | (remaining - set(res.completion_times))
+
+
+@given(inst=srj_instances(min_m=2, max_m=6, max_n=8, unit=True))
+@settings(max_examples=50, deadline=None)
+def test_unit_beats_or_ties_base_on_unit_instances(inst):
+    """The m-maximal unit variant should usually not lose to the reserved-
+    processor base algorithm; assert it never loses by more than one step
+    per window round (a safe structural envelope)."""
+    unit_res = schedule_unit(inst)
+    base_res = schedule_srj(inst)
+    lb = makespan_lower_bound(inst)
+    assert unit_res.makespan <= base_res.makespan + lb
+
+
+@given(inst=srj_instances(min_m=2, max_m=6, max_n=8))
+@settings(max_examples=40, deadline=None)
+def test_move_disabled_still_correct_but_no_guarantee(inst):
+    """Ablation sanity: disabling MoveWindowRight must still produce a
+    feasible complete schedule (only the ratio guarantee is lost)."""
+    from repro.core.validate import assert_valid
+
+    res = SlidingWindowScheduler(inst, enable_move=False).run()
+    assert_valid(res.schedule(max_steps=100_000))
+
+
+@given(inst=srj_instances(min_m=2, max_m=6, max_n=8))
+@settings(max_examples=40, deadline=None)
+def test_completion_times_match_schedule(inst):
+    """The scheduler's reported completion times must equal those read off
+    the expanded schedule."""
+    res = schedule_srj(inst)
+    sched = res.schedule(max_steps=100_000)
+    from_schedule = sched.completion_times()
+    for j, t in res.completion_times.items():
+        assert from_schedule[j] == t

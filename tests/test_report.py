@@ -1,0 +1,35 @@
+"""Tests for the EXPERIMENTS.md report generator (repro.analysis.report)."""
+
+from repro.analysis.report import generate_report
+
+
+class TestReport:
+    def test_selected_experiments_only(self, tmp_path):
+        out = tmp_path / "r.md"
+        text = generate_report(
+            output=out, scale="small", seed=1, experiments=["e8"]
+        )
+        assert out.exists()
+        assert "[E8]" in text
+        assert "[E1]" not in text.replace("E14", "").replace("E1 |", "")
+
+    def test_summary_header_present(self):
+        text = generate_report(scale="small", experiments=["e8"])
+        assert text.startswith("# EXPERIMENTS")
+        assert "claimed vs. measured" in text
+        assert "## Summary" in text
+        assert "scale=small" in text
+
+    def test_unknown_experiment_reported(self):
+        text = generate_report(scale="small", experiments=["zzz"])
+        assert "unknown experiment" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "EXP.md"
+        assert main(
+            ["report", "-o", str(out), "--scale", "small", "--only", "e8"]
+        ) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

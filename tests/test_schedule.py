@@ -1,0 +1,111 @@
+"""Tests for the schedule representation (repro.core.schedule)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule, Step
+from repro.core.job import JobPiece
+
+
+@pytest.fixture
+def two_job_instance():
+    return Instance.from_requirements(
+        2, [Fraction(1, 2), Fraction(1, 2)], sizes=[2, 1]
+    )
+
+
+class TestStep:
+    def test_share_of_absent_job(self):
+        step = Step(pieces=[JobPiece(0, 0, Fraction(1, 2))])
+        assert step.share_of(1) == 0
+
+    def test_total_share(self):
+        step = Step(
+            pieces=[
+                JobPiece(0, 0, Fraction(1, 2)),
+                JobPiece(1, 1, Fraction(1, 4)),
+            ]
+        )
+        assert step.total_share() == Fraction(3, 4)
+
+    def test_processor_of(self):
+        step = Step(pieces=[JobPiece(0, 3, Fraction(1, 2))])
+        assert step.processor_of(0) == 3
+        assert step.processor_of(1) is None
+
+    def test_job_ids(self):
+        step = Step(
+            pieces=[JobPiece(0, 0, Fraction(1, 2)), JobPiece(2, 1, Fraction(1, 4))]
+        )
+        assert step.job_ids() == [0, 2]
+
+
+class TestSchedule:
+    def test_append_and_makespan(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+        s.append_step({0: (0, Fraction(1, 2))})
+        assert s.makespan == 2
+        assert len(s) == 2
+
+    def test_received_caps_at_requirement(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        # overshoot: share 1 > r = 1/2 counts as 1/2
+        s.append_step({0: (0, Fraction(1))})
+        assert s.received(0) == Fraction(1, 2)
+
+    def test_progress(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (0, Fraction(1, 4))})
+        assert s.progress(0) == Fraction(1, 2)  # (1/4)/(1/2)
+
+    def test_completion_time(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+        s.append_step({0: (0, Fraction(1, 2))})
+        assert s.completion_time(1) == 1  # s_1 = 1/2
+        assert s.completion_time(0) == 2  # s_0 = 1
+
+    def test_completion_time_unfinished(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (0, Fraction(1, 4))})
+        assert s.completion_time(0) is None
+
+    def test_start_time(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({1: (0, Fraction(1, 2))})
+        s.append_step({0: (0, Fraction(1, 2))})
+        assert s.start_time(0) == 2
+        assert s.start_time(1) == 1
+
+    def test_active_steps_and_processors(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (1, Fraction(1, 2))})
+        s.append_step({0: (1, Fraction(1, 2))})
+        assert s.active_steps(0) == [1, 2]
+        assert s.processor_history(0) == [1, 1]
+
+    def test_utilization_and_jobs_per_step(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+        s.append_step({0: (0, Fraction(1, 4))})
+        assert s.utilization() == [Fraction(1), Fraction(1, 4)]
+        assert s.jobs_per_step() == [2, 1]
+
+    def test_completion_times_bulk(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+        s.append_step({0: (0, Fraction(1, 2))})
+        ct = s.completion_times()
+        assert ct == {0: 2, 1: 1}
+
+    def test_completion_times_matches_per_job(self, two_job_instance):
+        s = Schedule(instance=two_job_instance)
+        s.append_step({0: (0, Fraction(1, 2))})
+        s.append_step({0: (0, Fraction(1, 4)), 1: (1, Fraction(1, 2))})
+        s.append_step({0: (0, Fraction(1, 4))})
+        bulk = s.completion_times()
+        for j in (0, 1):
+            assert bulk[j] == s.completion_time(j)

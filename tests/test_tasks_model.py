@@ -1,0 +1,83 @@
+"""Tests for the SRT task model and partition (repro.tasks.model/partition)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.tasks import (
+    Task,
+    TaskInstance,
+    heavy_allotment,
+    light_allotment,
+    partition_tasks,
+)
+from repro.tasks.model import TaskScheduleResult
+
+
+class TestTask:
+    def test_basic(self):
+        t = Task(id=0, requirements=(Fraction(1, 2), Fraction(1, 4)))
+        assert t.n_jobs == 2
+        assert t.total_requirement() == Fraction(3, 4)
+        assert t.average_requirement() == Fraction(3, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Task(id=0, requirements=())
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            Task(id=0, requirements=(Fraction(0),))
+
+    def test_float_conversion(self):
+        t = Task(id=0, requirements=(0.5,))
+        assert t.requirements == (Fraction(1, 2),)
+
+
+class TestTaskInstance:
+    def test_create(self):
+        ti = TaskInstance.create(
+            4, [[Fraction(1, 2)], [Fraction(1, 4), Fraction(1, 4)]]
+        )
+        assert ti.k == 2
+        assert ti.n_jobs == 3
+        assert ti.total_requirement() == Fraction(1)
+
+    def test_duplicate_ids_rejected(self):
+        t = Task(id=0, requirements=(Fraction(1, 2),))
+        with pytest.raises(ValueError):
+            TaskInstance(m=2, tasks=(t, t))
+
+    def test_result_aggregation(self):
+        ti = TaskInstance.create(4, [[Fraction(1, 2)], [Fraction(1, 2)]])
+        res = TaskScheduleResult(
+            instance=ti, completion_times={0: 2, 1: 4}, makespan=4
+        )
+        assert res.sum_completion_times() == 6
+        assert res.average_completion_time() == 3
+
+
+class TestPartition:
+    def test_threshold(self):
+        # m = 5 -> threshold 1/4
+        heavy_task = [Fraction(1, 2), Fraction(1, 2)]        # avg 1/2
+        light_task = [Fraction(1, 8), Fraction(1, 8)]        # avg 1/8
+        boundary = [Fraction(1, 4)]                          # avg exactly 1/4
+        ti = TaskInstance.create(5, [heavy_task, light_task, boundary])
+        heavy, light = partition_tasks(ti)
+        assert [t.id for t in heavy] == [0]
+        # boundary avg == 1/(m-1) goes to T2 (strict inequality for T1)
+        assert [t.id for t in light] == [1, 2]
+
+    def test_allotments_cover_machine(self):
+        for m in range(4, 30):
+            m1, r1 = heavy_allotment(m)
+            m2, r2 = light_allotment(m)
+            assert m1 + m2 == m
+            assert r1 + r2 <= 1
+            assert r1 > 0 and r2 == Fraction(1, 2)
+
+    def test_heavy_allotment_formula(self):
+        m1, r1 = heavy_allotment(9)
+        assert m1 == 4
+        assert r1 == Fraction(3, 8)

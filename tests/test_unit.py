@@ -1,0 +1,124 @@
+"""Tests for the unit-size modified algorithm (repro.core.unit)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.instance import Instance
+from repro.core.unit import UnitSizeScheduler, schedule_unit, unit_guarantee
+from repro.core.validate import assert_valid
+
+from conftest import srj_instances
+
+
+class TestBasics:
+    def test_rejects_general_sizes(self):
+        inst = Instance.from_requirements(3, [Fraction(1, 2)], sizes=[2])
+        with pytest.raises(ValueError):
+            UnitSizeScheduler(inst)
+
+    def test_single_small_job(self):
+        inst = Instance.from_requirements(3, [Fraction(1, 2)])
+        res = schedule_unit(inst)
+        assert res.makespan == 1
+        assert res.completion_times == {0: 1}
+
+    def test_single_oversized_job(self):
+        # r = 5/2 > 1: needs 3 steps alone
+        inst = Instance.from_requirements(3, [Fraction(5, 2)])
+        res = schedule_unit(inst)
+        assert res.makespan == 3
+        assert_valid(res.schedule())
+
+    def test_perfect_packing(self):
+        # 4 jobs of r=1/2 on m=2: two per step, 2 steps
+        inst = Instance.from_requirements(2, [Fraction(1, 2)] * 4)
+        res = schedule_unit(inst)
+        assert res.makespan == 2
+
+    def test_m_jobs_per_step_possible(self):
+        # unlike the general algorithm, the unit variant uses all m slots
+        inst = Instance.from_requirements(3, [Fraction(1, 3)] * 3)
+        res = schedule_unit(inst)
+        assert res.makespan == 1
+
+    def test_empty(self):
+        inst = Instance.from_requirements(3, [])
+        res = schedule_unit(inst)
+        assert res.makespan == 0
+
+
+class TestGuarantees:
+    def test_unit_guarantee_formula(self):
+        assert unit_guarantee(4, 9) == 13  # floor(36/3)+1
+        assert unit_guarantee(2, 5) == 11
+        assert unit_guarantee(1, 5) == 5
+
+    @given(inst=srj_instances(min_m=2, max_m=10, max_n=16, unit=True))
+    @settings(max_examples=100, deadline=None)
+    def test_property_guarantee(self, inst):
+        res = schedule_unit(inst)
+        lb = makespan_lower_bound(inst)
+        assert res.makespan <= unit_guarantee(inst.m, lb)
+
+    @given(inst=srj_instances(min_m=2, max_m=8, max_n=14, unit=True))
+    @settings(max_examples=80, deadline=None)
+    def test_property_schedule_feasible(self, inst):
+        res = schedule_unit(inst)
+        assert_valid(res.schedule(max_steps=100_000))
+
+    @given(inst=srj_instances(min_m=2, max_m=8, max_n=14, unit=True))
+    @settings(max_examples=60, deadline=None)
+    def test_property_at_most_one_started(self, inst):
+        """The unit algorithm's core invariant: at most one started job."""
+        res = schedule_unit(inst)
+        sched = res.schedule(max_steps=100_000)
+        remaining = {
+            j.id: j.total_requirement for j in inst.jobs
+        }
+        for step in sched.steps:
+            started_before = [
+                j.id
+                for j in inst.jobs
+                if 0 < remaining[j.id] < j.total_requirement
+            ]
+            assert len(started_before) <= 1
+            for piece in step.pieces:
+                remaining[piece.job_id] -= min(
+                    piece.share, inst.requirement(piece.job_id)
+                )
+
+    @given(inst=srj_instances(min_m=3, max_m=8, max_n=14, unit=True))
+    @settings(max_examples=60, deadline=None)
+    def test_property_never_worse_than_base_guarantee(self, inst):
+        """The m-maximal variant should beat the reserved-processor bound."""
+        from repro.core.scheduler import schedule_srj
+
+        unit_res = schedule_unit(inst)
+        base_res = schedule_srj(inst)
+        lb = makespan_lower_bound(inst)
+        # both respect their guarantees; the unit bound is the tighter one
+        assert unit_res.makespan <= unit_guarantee(inst.m, lb)
+        assert base_res.makespan <= (1 + 2 / (inst.m - 2)) * lb + 1 + 1e-9
+
+
+class TestBulkPath:
+    def test_oversized_job_trace_compressed(self):
+        inst = Instance.from_requirements(2, [Fraction(500)])
+        res = schedule_unit(inst)
+        assert res.makespan == 500
+        assert len(res.trace) <= 2
+
+    def test_started_job_keeps_processor(self):
+        inst = Instance.from_requirements(
+            2, [Fraction(1, 3), Fraction(1, 3), Fraction(3, 2)]
+        )
+        res = schedule_unit(inst)
+        procs = {}
+        for run in res.trace:
+            for j, p in run.processors.items():
+                if j in procs:
+                    assert procs[j] == p
+                procs[j] = p

@@ -1,0 +1,124 @@
+"""Tests for the schedule validator (repro.core.validate)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.core.validate import (
+    ScheduleError,
+    assert_valid,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def inst():
+    return Instance.from_requirements(
+        2, [Fraction(1, 2), Fraction(1, 2)], sizes=[1, 2]
+    )
+
+
+def valid_schedule(inst):
+    s = Schedule(instance=inst)
+    s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+    s.append_step({1: (1, Fraction(1, 2))})
+    return s
+
+
+class TestValid:
+    def test_valid_schedule_passes(self, inst):
+        report = validate_schedule(valid_schedule(inst))
+        assert report.ok
+        assert report.violations == []
+        assert bool(report)
+
+    def test_assert_valid_noop(self, inst):
+        assert_valid(valid_schedule(inst))
+
+
+class TestViolations:
+    def test_resource_overuse(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+        s.append_step({1: (1, Fraction(1, 2))})
+        s.steps[0].pieces[0] = s.steps[0].pieces[0].__class__(
+            job_id=0, processor=0, share=Fraction(3, 5)
+        )
+        report = validate_schedule(s)
+        assert not report.ok
+        assert any("exceed" in v or "overused" in v for v in report.violations)
+
+    def test_unknown_job(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({7: (0, Fraction(1, 2))})
+        report = validate_schedule(s, require_all_finished=False)
+        assert any("unknown job" in v for v in report.violations)
+
+    def test_duplicate_processor(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({0: (0, Fraction(1, 4)), 1: (0, Fraction(1, 4))})
+        report = validate_schedule(s, require_all_finished=False)
+        assert any("runs two jobs" in v for v in report.violations)
+
+    def test_processor_out_of_range(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({0: (5, Fraction(1, 2))})
+        report = validate_schedule(s, require_all_finished=False)
+        assert any("out of range" in v for v in report.violations)
+
+    def test_too_many_jobs(self):
+        inst3 = Instance.from_requirements(
+            1, [Fraction(1, 4), Fraction(1, 4)]
+        )
+        s = Schedule(instance=inst3)
+        s.append_step({0: (0, Fraction(1, 4)), 1: (1, Fraction(1, 4))})
+        report = validate_schedule(s)
+        assert any("exceed m" in v for v in report.violations)
+
+    def test_preemption_detected(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({1: (0, Fraction(1, 4))})
+        s.append_step({0: (0, Fraction(1, 2))})
+        s.append_step({1: (0, Fraction(1, 2)), 0: (1, Fraction(0))})
+        report = validate_schedule(s, require_all_finished=False)
+        assert any("preempted" in v for v in report.violations)
+
+    def test_migration_detected(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({1: (0, Fraction(1, 2))})
+        s.append_step({1: (1, Fraction(1, 2))})
+        report = validate_schedule(s, require_all_finished=False)
+        assert any("migrated" in v for v in report.violations)
+
+    def test_unfinished_job_detected(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({0: (0, Fraction(1, 2))})
+        report = validate_schedule(s)
+        assert any("unfinished" in v for v in report.violations)
+        # but passes when completion is not required
+        report2 = validate_schedule(s, require_all_finished=False)
+        assert report2.ok
+
+    def test_processing_after_finish(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({0: (0, Fraction(1, 2))})  # job 0 done (s=1/2)
+        s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+        s.append_step({1: (1, Fraction(1, 2))})
+        report = validate_schedule(s)
+        assert any("after finishing" in v for v in report.violations)
+
+    def test_assert_valid_raises_with_details(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({0: (0, Fraction(1, 2))})
+        with pytest.raises(ScheduleError) as err:
+            assert_valid(s)
+        assert "unfinished" in str(err.value)
+
+    def test_custom_budget(self, inst):
+        s = Schedule(instance=inst)
+        s.append_step({0: (0, Fraction(1, 2)), 1: (1, Fraction(1, 2))})
+        s.append_step({1: (1, Fraction(1, 2))})
+        report = validate_schedule(s, budget=Fraction(1, 2))
+        assert any("overused" in v for v in report.violations)

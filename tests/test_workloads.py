@@ -1,0 +1,171 @@
+"""Tests for the workload generators (repro.workloads)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import makespan_lower_bound
+from repro.core.scheduler import schedule_srj
+from repro.tasks import partition_tasks
+from repro.workloads import (
+    FAMILIES,
+    TASKSET_FAMILIES,
+    bimodal_fractions,
+    geometric_sizes,
+    heavy_tail_fractions,
+    heavy_taskset,
+    light_taskset,
+    make_instance,
+    make_taskset,
+    next_fit_adversarial_items,
+    planted_instance,
+    resource_cliff_instance,
+    sawtooth_instance,
+    three_partition_instance,
+    uniform_fractions,
+    uniform_sizes,
+)
+
+
+class TestDistributions:
+    def test_uniform_range(self, rng):
+        xs = uniform_fractions(rng, 100, lo=Fraction(1, 10), hi=Fraction(1, 2))
+        assert len(xs) == 100
+        assert all(Fraction(1, 10) <= x <= Fraction(1, 2) for x in xs)
+
+    def test_uniform_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_fractions(rng, 5, lo=Fraction(0))
+        with pytest.raises(ValueError):
+            uniform_fractions(rng, 5, lo=Fraction(1, 2), hi=Fraction(1, 4))
+
+    def test_bimodal_positive(self, rng):
+        xs = bimodal_fractions(rng, 200)
+        assert all(x > 0 for x in xs)
+
+    def test_heavy_tail_capped(self, rng):
+        xs = heavy_tail_fractions(rng, 200, cap=Fraction(2))
+        assert all(0 < x <= 2 for x in xs)
+
+    def test_heavy_tail_validation(self, rng):
+        with pytest.raises(ValueError):
+            heavy_tail_fractions(rng, 5, alpha=0)
+
+    def test_geometric_sizes(self, rng):
+        xs = geometric_sizes(rng, 500, mean=3.0, cap=20)
+        assert all(1 <= x <= 20 for x in xs)
+        assert 1.5 < sum(xs) / len(xs) < 6.0
+
+    def test_uniform_sizes_validation(self, rng):
+        with pytest.raises(ValueError):
+            uniform_sizes(rng, 5, lo=0)
+
+
+class TestInstanceFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_families_produce_valid_instances(self, family, rng):
+        inst = make_instance(family, rng, m=5, n=25)
+        assert inst.m == 5
+        assert inst.n == 25
+        assert all(j.requirement > 0 for j in inst.jobs)
+
+    def test_unknown_family(self, rng):
+        with pytest.raises(ValueError):
+            make_instance("nope", rng, 4, 10)
+
+    def test_determinism_under_seed(self):
+        a = make_instance("uniform", random.Random(7), 4, 20)
+        b = make_instance("uniform", random.Random(7), 4, 20)
+        assert [j.requirement for j in a.jobs] == [
+            j.requirement for j in b.jobs
+        ]
+
+
+class TestPlanted:
+    def test_opt_equals_horizon(self, rng):
+        for _ in range(20):
+            inst, opt = planted_instance(rng, rng.randint(2, 6), rng.randint(1, 15))
+            assert makespan_lower_bound(inst) == opt
+            assert schedule_srj(inst).makespan >= opt
+
+    def test_total_work_exact(self, rng):
+        inst, opt = planted_instance(rng, 4, 10)
+        assert inst.total_work() == opt
+
+    def test_horizon_one(self, rng):
+        inst, opt = planted_instance(rng, 3, 1)
+        assert opt == 1
+        assert inst.n == 3  # one job per processor
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            planted_instance(rng, 0, 5)
+
+
+class TestAdversarial:
+    def test_three_partition_structure(self, rng):
+        inst, q = three_partition_instance(rng, q=5, base=60)
+        assert inst.m == 3
+        assert inst.n == 15
+        assert inst.is_unit_size
+        # values strictly between B/4 and B/2
+        for j in inst.jobs:
+            assert Fraction(1, 4) < j.requirement < Fraction(1, 2)
+        assert inst.total_work() == q
+
+    def test_three_partition_validation(self, rng):
+        with pytest.raises(ValueError):
+            three_partition_instance(rng, q=0)
+        with pytest.raises(ValueError):
+            three_partition_instance(rng, q=1, base=61)
+
+    def test_next_fit_adversarial_counts(self):
+        items = next_fit_adversarial_items(5, k=4)
+        assert len(items) == 5 + 5 * 3
+
+    def test_next_fit_adversarial_validation(self):
+        with pytest.raises(ValueError):
+            next_fit_adversarial_items(0)
+        with pytest.raises(ValueError):
+            next_fit_adversarial_items(5, k=1)
+        with pytest.raises(ValueError):
+            next_fit_adversarial_items(5, k=4, epsilon=Fraction(1, 2))
+
+    def test_sawtooth(self, rng):
+        inst = sawtooth_instance(rng, 4, teeth=5)
+        assert inst.n == 10
+
+    def test_resource_cliff(self):
+        inst = resource_cliff_instance(5, big_steps=4)
+        assert inst.n == 5 - 2 + 4
+        with pytest.raises(ValueError):
+            resource_cliff_instance(2, 4)
+
+
+class TestTasksets:
+    @pytest.mark.parametrize("family", sorted(TASKSET_FAMILIES))
+    def test_families_valid(self, family, rng):
+        ti = make_taskset(family, rng, m=6, k=5)
+        assert ti.k == 5
+        assert all(t.n_jobs >= 1 for t in ti.tasks)
+
+    def test_heavy_all_above_threshold(self, rng):
+        m = 6
+        ti = heavy_taskset(rng, m, 8)
+        heavy, light = partition_tasks(ti)
+        assert len(heavy) == 8 and not light
+
+    def test_light_all_below_threshold(self, rng):
+        m = 6
+        ti = light_taskset(rng, m, 8)
+        heavy, light = partition_tasks(ti)
+        assert len(light) == 8 and not heavy
+
+    def test_small_m_rejected(self, rng):
+        with pytest.raises(ValueError):
+            heavy_taskset(rng, 2, 3)
+
+    def test_unknown_family(self, rng):
+        with pytest.raises(ValueError):
+            make_taskset("nope", rng, 6, 3)
