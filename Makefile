@@ -1,0 +1,22 @@
+# Convenience targets for the test/bench/perf gates (see docs/PERFORMANCE.md).
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench perf-check check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# fast bench smoke: E4 table + micro-benches + BENCH_1.json at small scale
+bench-smoke:
+	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest benchmarks/bench_e4_runtime.py -q
+
+# regenerate the standalone bench-regression artifact
+bench:
+	$(PYTHON) -m repro.perf.bench --scale small -o BENCH_1.json
+
+# the int backend must spend < 10% of its profiled time in fractions.*
+perf-check:
+	$(PYTHON) -m repro.analysis.profiling
+
+check: test perf-check bench-smoke

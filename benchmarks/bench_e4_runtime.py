@@ -2,16 +2,31 @@
 
 The table sweeps n (fixed m) and m (fixed n), fits power-law exponents, and
 the micro-benchmarks below give pytest-benchmark's statistically robust
-timings at three sizes — the "series" behind the scaling figure.
+timings at three sizes — the "series" behind the scaling figure.  Each size
+is benchmarked on both the Fraction reference backend and the exact
+scaled-integer kernel, so a regression in either shows up here.
+
+``bench_e4_regression_report`` additionally runs the standalone
+bench-regression harness (:mod:`repro.perf.bench`) and writes its
+``BENCH_1.json`` next to the repo root; this file records per-point
+wall-clock, speedup and peak RSS and is the artifact the ≥10× speedup
+acceptance criterion is checked against.  The smoke invocation is::
+
+    REPRO_BENCH_SCALE=small pytest benchmarks/bench_e4_runtime.py -q
 """
 
 import random
+from pathlib import Path
 
 from repro.analysis import run_e4
 from repro.core.scheduler import schedule_srj
+from repro.perf import solve_srj
+from repro.perf.bench import run_bench, write_report
 from repro.workloads import make_instance
 
-from conftest import run_table
+from conftest import SCALE, run_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def bench_e4_table(benchmark, capsys):
@@ -40,3 +55,37 @@ def bench_srj_n1600(benchmark):
 def bench_srj_m64_n400(benchmark):
     inst = _inst(400, m=64)
     benchmark(schedule_srj, inst)
+
+
+def bench_srj_int_n400(benchmark):
+    inst = _inst(400)
+    benchmark(solve_srj, inst, backend="int")
+
+
+def bench_srj_int_n1600(benchmark):
+    inst = _inst(1600)
+    benchmark(solve_srj, inst, backend="int")
+
+
+def bench_srj_int_m64_n400(benchmark):
+    inst = _inst(400, m=64)
+    benchmark(solve_srj, inst, backend="int")
+
+
+def bench_e4_regression_report(benchmark, capsys):
+    """Run the BENCH_1.json harness once under the benchmark timer."""
+    report = benchmark.pedantic(
+        lambda: run_bench(scale=SCALE, seed=0), rounds=1, iterations=1
+    )
+    out = REPO_ROOT / "BENCH_1.json"
+    write_report(report, out)
+    with capsys.disabled():
+        s = report["summary"]
+        print()
+        print(
+            f"BENCH_1.json written to {out} — speedup at n="
+            f"{s['largest_n']}: {s['speedup_at_largest_n']}x "
+            f"(min {s['min_speedup']}x, max {s['max_speedup']}x)"
+        )
+    assert report["rows"], "bench harness produced no rows"
+    assert s["speedup_at_largest_n"] >= 1.0

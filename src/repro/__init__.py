@@ -40,13 +40,16 @@ from .core import (
     SlidingWindowScheduler,
     SRJResult,
     UnitSizeScheduler,
+    assert_result_valid,
     assert_valid,
     make_job,
     makespan_lower_bound,
     schedule_srj,
     schedule_unit,
+    validate_result,
     validate_schedule,
 )
+from .perf import solve_srj
 
 __version__ = "1.0.0"
 
@@ -61,8 +64,11 @@ __all__ = [
     "UnitSizeScheduler",
     "schedule_srj",
     "schedule_unit",
+    "solve_srj",
     "makespan_lower_bound",
     "assert_valid",
+    "assert_result_valid",
     "validate_schedule",
+    "validate_result",
     "__version__",
 ]

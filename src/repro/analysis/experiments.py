@@ -5,6 +5,12 @@ its quantitative claims empirically; EXPERIMENTS.md records the outcomes.
 Every function returns an :class:`~repro.analysis.tables.ExperimentTable`
 and takes a ``scale`` knob (``"small"`` for CI-fast runs, ``"full"`` for the
 benchmark harness).
+
+The heavy sweeps (E1, E4, E5 — and the F-series in :mod:`.figures`) fan
+out across CPU cores via :func:`repro.perf.parallel_map`.  Each grid point
+derives its own RNG seed with :func:`repro.perf.seed_for`, so the tables
+are bit-identical regardless of the worker count (pass ``workers=1`` to
+force serial execution, or set ``REPRO_WORKERS``).
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ import random
 import time
 from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple
+
+from ..perf import parallel_map, seed_for, solve_srj
 
 from ..baselines import BASELINES
 from ..binpacking import (
@@ -68,9 +76,32 @@ def _scale_params(scale: str) -> Dict[str, int]:
 # ---------------------------------------------------------------------------
 
 
-def run_e1(scale: str = "small", seed: int = 0) -> ExperimentTable:
+def _e1_family_trial(task: Tuple[str, int, int, int]) -> float:
+    """One E1 grid-point trial (module-level so it pickles to workers)."""
+    family, m, n, trial_seed = task
+    rng = random.Random(trial_seed)
+    inst = make_instance(family, rng, m, n)
+    res = solve_srj(inst)
+    return res.makespan / makespan_lower_bound(inst)
+
+
+def _e1_planted_trial(task: Tuple[int, int, int]) -> float:
+    m, horizon, trial_seed = task
+    rng = random.Random(trial_seed)
+    inst, opt = planted_instance(rng, m, horizon=horizon)
+    return solve_srj(inst).makespan / opt
+
+
+def run_e1(
+    scale: str = "small", seed: int = 0, workers: int | None = None
+) -> ExperimentTable:
     """Empirical ratio of Listing 1 vs the Eq.(1) lower bound, per m and
-    workload family; the theoretical bound ``2 + 1/(m-2)`` must dominate."""
+    workload family; the theoretical bound ``2 + 1/(m-2)`` must dominate.
+
+    Trials fan out across *workers* processes; every trial gets its own
+    :func:`~repro.perf.seed_for`-derived seed, so the table is identical
+    for any worker count.
+    """
     p = _scale_params(scale)
     table = ExperimentTable(
         id="E1",
@@ -79,30 +110,37 @@ def run_e1(scale: str = "small", seed: int = 0) -> ExperimentTable:
             "m", "family", "trials", "mean ratio", "max ratio",
             "bound 2+1/(m-2)",
         ],
-        notes=["ratio = makespan / max{⌈Σs_j⌉, ⌈Σ⌈s_j/r_j⌉/m⌉}"],
+        notes=["ratio = makespan / max{⌈Σs_j⌉, ⌈Σ⌈s_j/r_j⌉/m⌉}",
+               "per-trial deterministic seeding (worker-count independent)"],
     )
-    rng = random.Random(seed)
-    for m in (3, 4, 6, 8, 16, 32, 64):
-        for family in ("uniform", "bimodal", "heavy_tail", "correlated"):
-            ratios = []
-            for _ in range(p["trials"]):
-                inst = make_instance(family, rng, m, p["n"])
-                res = schedule_srj(inst)
-                lb = makespan_lower_bound(inst)
-                ratios.append(res.makespan / lb)
-            s = Summary.of(ratios)
-            table.add_row(
-                m, family, s.n, round(s.mean, 4), round(s.maximum, 4),
-                round(theoretical_ratio(m), 4),
-            )
+    trials = p["trials"]
+    cells = [
+        (m, family)
+        for m in (3, 4, 6, 8, 16, 32, 64)
+        for family in ("uniform", "bimodal", "heavy_tail", "correlated")
+    ]
+    tasks = [
+        (family, m, p["n"], seed_for(seed, ci * trials + t))
+        for ci, (m, family) in enumerate(cells)
+        for t in range(trials)
+    ]
+    ratios = parallel_map(_e1_family_trial, tasks, workers=workers)
+    for ci, (m, family) in enumerate(cells):
+        s = Summary.of(ratios[ci * trials : (ci + 1) * trials])
+        table.add_row(
+            m, family, s.n, round(s.mean, 4), round(s.maximum, 4),
+            round(theoretical_ratio(m), 4),
+        )
     # planted-optimum rows: ratio vs the *true* OPT, not just the bound
-    for m in (4, 8, 16):
-        ratios = []
-        for _ in range(p["trials"]):
-            inst, opt = planted_instance(rng, m, horizon=p["n"] // 2)
-            res = schedule_srj(inst)
-            ratios.append(res.makespan / opt)
-        s = Summary.of(ratios)
+    planted_ms = (4, 8, 16)
+    planted_tasks = [
+        (m, p["n"] // 2, seed_for(seed, 10_000 + mi * trials + t))
+        for mi, m in enumerate(planted_ms)
+        for t in range(trials)
+    ]
+    planted = parallel_map(_e1_planted_trial, planted_tasks, workers=workers)
+    for mi, m in enumerate(planted_ms):
+        s = Summary.of(planted[mi * trials : (mi + 1) * trials])
         table.add_row(
             m, "planted(OPT known)", s.n, round(s.mean, 4),
             round(s.maximum, 4), round(theoretical_ratio(m), 4),
@@ -223,9 +261,44 @@ def run_e3(scale: str = "small", seed: int = 0) -> ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def run_e4(scale: str = "small", seed: int = 0) -> ExperimentTable:
+def _e4_point(task: Tuple[str, int, int, int, int, int]) -> Tuple[float, float, int]:
+    """Time one E4 sweep point on both backends (best-of-*reps* each).
+
+    Returns ``(fraction_seconds, int_seconds, makespan)``; the two backends
+    must agree on the makespan (the int kernel is exact, not approximate).
+    """
+    label, value, m, n, inst_seed, reps = task
+    rng = random.Random(inst_seed)
+    inst = make_instance("uniform", rng, m, n)
+    best: Dict[str, float] = {}
+    spans: Dict[str, int] = {}
+    for backend in ("fraction", "int"):
+        b = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            res = solve_srj(inst, backend=backend)
+            b = min(b, time.perf_counter() - t0)
+        best[backend] = b
+        spans[backend] = res.makespan
+    if spans["fraction"] != spans["int"]:
+        raise AssertionError(
+            f"backend mismatch at {label}={value}: "
+            f"fraction={spans['fraction']} int={spans['int']}"
+        )
+    return best["fraction"], best["int"], spans["int"]
+
+
+def run_e4(
+    scale: str = "small", seed: int = 0, workers: int | None = None
+) -> ExperimentTable:
     """Wall-clock scaling of the accelerated scheduler; a power-law fit of
-    time vs n should have exponent ≈ 2 or below (the O((m+n)n) claim)."""
+    time vs n should have exponent ≈ 2 or below (the O((m+n)n) claim).
+
+    Every sweep point is timed on both the Fraction reference backend and
+    the exact scaled-integer kernel (:func:`repro.perf.solve_srj`); the
+    speedup column quantifies what exact integer arithmetic buys.  Points
+    fan out across *workers* processes with deterministic per-point seeds.
+    """
     if scale == "small":
         ns = [50, 100, 200, 400]
         ms = [4, 8, 16, 32]
@@ -238,38 +311,37 @@ def run_e4(scale: str = "small", seed: int = 0) -> ExperimentTable:
         reps = 3
     table = ExperimentTable(
         id="E4",
-        title="Accelerated scheduler wall-clock scaling",
-        headers=["sweep", "value", "seconds (median of reps)", "steps"],
-        notes=["power-law exponents appended as notes"],
+        title="Scheduler wall-clock scaling: Fraction vs exact int backend",
+        headers=["sweep", "value", "fraction s", "int s", "speedup", "steps"],
+        notes=["power-law exponents appended as notes",
+               "both backends produce identical schedules (asserted)"],
     )
-    rng = random.Random(seed)
-
-    def timed(inst: Instance) -> Tuple[float, int]:
-        best = float("inf")
-        makespan = 0
-        for _ in range(reps):
-            t0 = time.perf_counter()
-            res = schedule_srj(inst)
-            best = min(best, time.perf_counter() - t0)
-            makespan = res.makespan
-        return best, makespan
-
-    times_n = []
-    for n in ns:
-        inst = make_instance("uniform", rng, m_fixed, n)
-        secs, steps = timed(inst)
-        times_n.append(secs)
-        table.add_row("n (m=%d)" % m_fixed, n, round(secs, 5), steps)
-    times_m = []
-    for m in ms:
-        inst = make_instance("uniform", rng, m, n_fixed)
-        secs, steps = timed(inst)
-        times_m.append(secs)
-        table.add_row("m (n=%d)" % n_fixed, m, round(secs, 5), steps)
-    e_n, _ = fit_power_law([float(x) for x in ns], times_n)
-    e_m, _ = fit_power_law([float(x) for x in ms], times_m)
-    table.notes.append(f"time ~ n^{e_n:.2f} at fixed m (claim: <= ~2)")
-    table.notes.append(f"time ~ m^{e_m:.2f} at fixed n (claim: ~linear)")
+    tasks = [
+        ("n (m=%d)" % m_fixed, n, m_fixed, n, seed_for(seed, i), reps)
+        for i, n in enumerate(ns)
+    ] + [
+        ("m (n=%d)" % n_fixed, m, m, n_fixed, seed_for(seed, 100 + i), reps)
+        for i, m in enumerate(ms)
+    ]
+    results = parallel_map(_e4_point, tasks, workers=workers)
+    times_frac_n, times_int_n, times_int_m = [], [], []
+    for (label, value, *_rest), (frac_s, int_s, steps) in zip(tasks, results):
+        speedup = frac_s / int_s if int_s > 0 else float("inf")
+        table.add_row(
+            label, value, round(frac_s, 5), round(int_s, 5),
+            round(speedup, 2), steps,
+        )
+        if label.startswith("n "):
+            times_frac_n.append(frac_s)
+            times_int_n.append(int_s)
+        else:
+            times_int_m.append(int_s)
+    e_n, _ = fit_power_law([float(x) for x in ns], times_int_n)
+    e_fn, _ = fit_power_law([float(x) for x in ns], times_frac_n)
+    e_m, _ = fit_power_law([float(x) for x in ms], times_int_m)
+    table.notes.append(f"int time ~ n^{e_n:.2f} at fixed m (claim: <= ~2)")
+    table.notes.append(f"fraction time ~ n^{e_fn:.2f} at fixed m")
+    table.notes.append(f"int time ~ m^{e_m:.2f} at fixed n (claim: ~linear)")
     return table
 
 
@@ -278,9 +350,36 @@ def run_e4(scale: str = "small", seed: int = 0) -> ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def run_e5(scale: str = "small", seed: int = 0) -> ExperimentTable:
+def _e5_cell(
+    task: Tuple[int, int, str, int, int]
+) -> Tuple[List[float], List[float], List[float]]:
+    """Run all trials of one E5 grid cell (picklable worker)."""
+    m, k, family, trials, cell_seed = task
+    rng = random.Random(cell_seed)
+    r_split: List[float] = []
+    r_fifo: List[float] = []
+    r_job: List[float] = []
+    for _ in range(trials):
+        ti = make_taskset(family, rng, m, k)
+        lb = srt_lower_bound(ti)
+        if lb == 0:
+            continue
+        r_split.append(schedule_tasks(ti).sum_completion_times() / lb)
+        r_fifo.append(schedule_tasks_fifo(ti).sum_completion_times() / lb)
+        r_job.append(
+            schedule_tasks_job_level(ti).sum_completion_times() / lb
+        )
+    return r_split, r_fifo, r_job
+
+
+def run_e5(
+    scale: str = "small", seed: int = 0, workers: int | None = None
+) -> ExperimentTable:
     """SRT sum of completion times vs the Lemma 4.3 lower bound, sweeping
-    the number of tasks k; the o(1) term should shrink with k."""
+    the number of tasks k; the o(1) term should shrink with k.
+
+    Grid cells fan out across *workers* processes with deterministic
+    per-cell seeds (worker-count independent)."""
     p = _scale_params(scale)
     table = ExperimentTable(
         id="E5",
@@ -290,34 +389,27 @@ def run_e5(scale: str = "small", seed: int = 0) -> ExperimentTable:
             "factor 2+4/(m-3)",
         ],
     )
-    rng = random.Random(seed)
     ks = [4, 8, 16, 32] if scale == "small" else [4, 8, 16, 32, 64, 128]
-    for m in (6, 10, 20):
-        for k in ks:
-            for family in ("mixed", "cloud"):
-                r_split, r_fifo, r_job = [], [], []
-                for _ in range(max(p["trials"] // 2, 2)):
-                    ti = make_taskset(family, rng, m, k)
-                    lb = srt_lower_bound(ti)
-                    if lb == 0:
-                        continue
-                    r_split.append(
-                        schedule_tasks(ti).sum_completion_times() / lb
-                    )
-                    r_fifo.append(
-                        schedule_tasks_fifo(ti).sum_completion_times() / lb
-                    )
-                    r_job.append(
-                        schedule_tasks_job_level(ti).sum_completion_times()
-                        / lb
-                    )
-                table.add_row(
-                    m, k, family,
-                    round(Summary.of(r_split).mean, 4),
-                    round(Summary.of(r_fifo).mean, 4),
-                    round(Summary.of(r_job).mean, 4),
-                    round(float(srt_guarantee_factor(m)), 4),
-                )
+    trials = max(p["trials"] // 2, 2)
+    cells = [
+        (m, k, family)
+        for m in (6, 10, 20)
+        for k in ks
+        for family in ("mixed", "cloud")
+    ]
+    tasks = [
+        (m, k, family, trials, seed_for(seed, ci))
+        for ci, (m, k, family) in enumerate(cells)
+    ]
+    results = parallel_map(_e5_cell, tasks, workers=workers)
+    for (m, k, family), (r_split, r_fifo, r_job) in zip(cells, results):
+        table.add_row(
+            m, k, family,
+            round(Summary.of(r_split).mean, 4),
+            round(Summary.of(r_fifo).mean, 4),
+            round(Summary.of(r_job).mean, 4),
+            round(float(srt_guarantee_factor(m)), 4),
+        )
     return table
 
 

@@ -7,18 +7,25 @@ points of one figure:
 
 * **F1** — approximation ratio vs m, one series per workload family, with
   the ``2 + 1/(m-2)`` guarantee curve;
-* **F2** — wall-clock vs n at fixed m (log-log straight line ⇒ power law);
+* **F2** — wall-clock vs n at fixed m (log-log straight line ⇒ power law),
+  on both the Fraction and the exact scaled-integer backend;
 * **F3** — SRT ratio vs number of tasks k: the ``o(1)`` term's decay.
+
+F1 and F3 fan their grid cells out across CPU cores via
+:func:`repro.perf.parallel_map` with deterministic per-cell seeds; F2 is a
+timing series and stays serial on purpose (concurrent workers would
+contend for cores and distort the measured wall clock).
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..core.bounds import makespan_lower_bound
 from ..core.scheduler import schedule_srj
+from ..perf import parallel_map, seed_for, solve_srj
 from ..tasks import schedule_tasks, srt_guarantee_factor, srt_lower_bound
 from ..workloads import make_instance, make_taskset
 from .ratios import theoretical_ratio
@@ -26,34 +33,55 @@ from .stats import Summary
 from .tables import ExperimentTable
 
 
-def run_f1(scale: str = "small", seed: int = 0) -> ExperimentTable:
+def _f1_cell(task: Tuple[int, str, int, int, int]) -> float:
+    """Mean empirical ratio for one (m, family) cell (picklable worker)."""
+    m, family, n, trials, cell_seed = task
+    rng = random.Random(cell_seed)
+    ratios = []
+    for _ in range(trials):
+        inst = make_instance(family, rng, m, n)
+        ratios.append(
+            solve_srj(inst).makespan / makespan_lower_bound(inst)
+        )
+    return Summary.of(ratios).mean
+
+
+def run_f1(
+    scale: str = "small", seed: int = 0, workers: int | None = None
+) -> ExperimentTable:
     """Ratio-vs-m curves (series: one column per family + the guarantee)."""
     trials = 4 if scale == "small" else 15
     n = 60 if scale == "small" else 200
     families = ("uniform", "bimodal", "heavy_tail", "correlated")
+    ms = (3, 4, 5, 6, 8, 12, 16, 24, 32, 48, 64)
     table = ExperimentTable(
         id="F1",
         title="Series: empirical ratio vs m (per family) and the guarantee",
         headers=["m"] + [f"ratio({f})" for f in families] + ["2+1/(m-2)"],
     )
-    rng = random.Random(seed)
-    for m in (3, 4, 5, 6, 8, 12, 16, 24, 32, 48, 64):
+    cells = [(m, family) for m in ms for family in families]
+    tasks = [
+        (m, family, n, trials, seed_for(seed, ci))
+        for ci, (m, family) in enumerate(cells)
+    ]
+    means = parallel_map(_f1_cell, tasks, workers=workers)
+    per_m = {m: [] for m in ms}
+    for (m, _family), mean in zip(cells, means):
+        per_m[m].append(mean)
+    for m in ms:
         row: List[object] = [m]
-        for family in families:
-            ratios = []
-            for _ in range(trials):
-                inst = make_instance(family, rng, m, n)
-                ratios.append(
-                    schedule_srj(inst).makespan / makespan_lower_bound(inst)
-                )
-            row.append(round(Summary.of(ratios).mean, 4))
+        row.extend(round(v, 4) for v in per_m[m])
         row.append(round(theoretical_ratio(m), 4))
         table.add_row(*row)
     return table
 
 
 def run_f2(scale: str = "small", seed: int = 0) -> ExperimentTable:
-    """Wall-clock vs n series at fixed m (three repetitions, best-of)."""
+    """Wall-clock vs n series at fixed m (three repetitions, best-of).
+
+    Times both scheduler backends; the two must agree on the makespan
+    (the int kernel is exact), so the speedup column is apples-to-apples.
+    """
     ns = [50, 100, 200, 400, 800] if scale == "small" else [
         100, 200, 400, 800, 1600, 3200, 6400,
     ]
@@ -61,23 +89,49 @@ def run_f2(scale: str = "small", seed: int = 0) -> ExperimentTable:
     reps = 3
     table = ExperimentTable(
         id="F2",
-        title=f"Series: accelerated scheduler seconds vs n (m={m})",
-        headers=["n", "seconds", "seconds/n (linear check)"],
+        title=f"Series: scheduler seconds vs n (m={m}), per backend",
+        headers=["n", "fraction s", "int s", "speedup", "int µs/job"],
     )
     rng = random.Random(seed)
     for n in ns:
         inst = make_instance("uniform", rng, m, n)
-        best = float("inf")
-        for _ in range(reps):
-            t0 = time.perf_counter()
-            schedule_srj(inst)
-            best = min(best, time.perf_counter() - t0)
-        table.add_row(n, round(best, 5), round(best / n * 1e6, 3))
-    table.notes.append("third column in microseconds per job")
+        best = {"fraction": float("inf"), "int": float("inf")}
+        spans = {}
+        for backend in ("fraction", "int"):
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                res = solve_srj(inst, backend=backend)
+                best[backend] = min(
+                    best[backend], time.perf_counter() - t0
+                )
+            spans[backend] = res.makespan
+        assert spans["fraction"] == spans["int"], n
+        table.add_row(
+            n, round(best["fraction"], 5), round(best["int"], 5),
+            round(best["fraction"] / best["int"], 2),
+            round(best["int"] / n * 1e6, 3),
+        )
+    table.notes.append("last column in microseconds per job (int backend)")
+    table.notes.append("serial timing loop: parallel workers would distort it")
     return table
 
 
-def run_f3(scale: str = "small", seed: int = 0) -> ExperimentTable:
+def _f3_cell(task: Tuple[int, int, str, int, int]) -> float:
+    """Mean SRT ratio for one (k, family) cell (picklable worker)."""
+    m, k, family, trials, cell_seed = task
+    rng = random.Random(cell_seed)
+    ratios = []
+    for _ in range(trials):
+        ti = make_taskset(family, rng, m, k)
+        lb = srt_lower_bound(ti)
+        if lb:
+            ratios.append(schedule_tasks(ti).sum_completion_times() / lb)
+    return Summary.of(ratios).mean
+
+
+def run_f3(
+    scale: str = "small", seed: int = 0, workers: int | None = None
+) -> ExperimentTable:
     """SRT ratio vs k — the o(1) additive term must decay as k grows."""
     ks = [4, 8, 16, 32, 64] if scale == "small" else [
         4, 8, 16, 32, 64, 128, 256,
@@ -90,20 +144,20 @@ def run_f3(scale: str = "small", seed: int = 0) -> ExperimentTable:
         headers=["k", "mixed", "cloud", "guarantee factor"],
         notes=["Theorem 4.8: ratio -> 2+4/(m-3) as k -> inf (o(1) decay)"],
     )
-    rng = random.Random(seed)
     factor = round(float(srt_guarantee_factor(m)), 4)
-    for k in ks:
+    families = ("mixed", "cloud")
+    cells = [(k, family) for k in ks for family in families]
+    tasks = [
+        (m, k, family, trials, seed_for(seed, ci))
+        for ci, (k, family) in enumerate(cells)
+    ]
+    means = parallel_map(_f3_cell, tasks, workers=workers)
+    for ki, k in enumerate(ks):
         row: List[object] = [k]
-        for family in ("mixed", "cloud"):
-            ratios = []
-            for _ in range(trials):
-                ti = make_taskset(family, rng, m, k)
-                lb = srt_lower_bound(ti)
-                if lb:
-                    ratios.append(
-                        schedule_tasks(ti).sum_completion_times() / lb
-                    )
-            row.append(round(Summary.of(ratios).mean, 4))
+        row.extend(
+            round(means[ki * len(families) + fi], 4)
+            for fi in range(len(families))
+        )
         row.append(factor)
         table.add_row(*row)
     return table

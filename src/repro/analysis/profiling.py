@@ -3,6 +3,15 @@
 Thin cProfile wrappers for the scheduler hot paths, returning structured
 rows instead of dumping to stdout, so tests and notebooks can assert on
 them (e.g. "Fraction arithmetic dominates the exact scheduler").
+
+Run as a module for the perf regression gate::
+
+    PYTHONPATH=src python -m repro.analysis.profiling
+
+profiles both scheduler backends on a representative instance and fails
+(exit code 1) if the scaled-integer backend spends ≥ 10% of its profiled
+time inside ``fractions.*`` — the whole point of that backend is that
+rational arithmetic is confined to input scaling and trace conversion.
 """
 
 from __future__ import annotations
@@ -67,3 +76,71 @@ def format_profile(rows: List[ProfileRow]) -> str:
             f"{row.function}"
         )
     return "\n".join(lines)
+
+
+def fraction_time_share(fn: Callable[[], object]) -> float:
+    """Share of *fn*'s profiled time spent inside the ``fractions`` module.
+
+    Profiles one call and sums per-function *tottime* (exclusive time, so
+    the shares of all functions add up to the total runtime) over every
+    frame whose source file is ``fractions.py``.  Returns a value in
+    ``[0, 1]``; 0.0 if nothing measurable ran.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=StringIO())
+    total = 0.0
+    in_fractions = 0.0
+    for func, (_cc, _nc, tt, _ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        total += tt
+        if func[0].endswith("fractions.py"):
+            in_fractions += tt
+    return in_fractions / total if total > 0 else 0.0
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Perf gate: the int backend must spend < 10% of its time in
+    ``fractions.*`` (see module docstring)."""
+    import argparse
+    import random
+
+    from ..perf import solve_srj
+    from ..workloads import make_instance
+
+    parser = argparse.ArgumentParser(
+        description="scheduler backend fractions.* time-share gate"
+    )
+    parser.add_argument("--n", type=int, default=300, help="number of jobs")
+    parser.add_argument("--m", type=int, default=8, help="processors")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--limit", type=float, default=0.10,
+        help="max allowed fractions.* share for the int backend",
+    )
+    args = parser.parse_args(argv)
+    inst = make_instance("uniform", random.Random(args.seed), args.m, args.n)
+    shares = {}
+    for backend in ("fraction", "int"):
+        shares[backend] = fraction_time_share(
+            lambda: solve_srj(inst, backend=backend)
+        )
+        print(
+            f"{backend:>8} backend: {shares[backend]:6.1%} of profiled "
+            "time in fractions.*"
+        )
+    if shares["int"] >= args.limit:
+        print(
+            f"FAIL: int backend spends {shares['int']:.1%} "
+            f">= {args.limit:.0%} in fractions.*"
+        )
+        return 1
+    print(f"OK: int backend under the {args.limit:.0%} fractions.* budget")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

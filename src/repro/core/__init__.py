@@ -21,7 +21,9 @@ from .unit import UnitSizeScheduler, schedule_unit, unit_guarantee
 from .validate import (
     ScheduleError,
     ValidationReport,
+    assert_result_valid,
     assert_valid,
+    validate_result,
     validate_schedule,
 )
 
@@ -43,7 +45,9 @@ __all__ = [
     "ScheduleError",
     "ValidationReport",
     "assert_valid",
+    "assert_result_valid",
     "validate_schedule",
+    "validate_result",
     "makespan_lower_bound",
     "resource_lower_bound",
     "processor_lower_bound",

@@ -9,7 +9,28 @@ floats, a tolerance, and no trace/processor bookkeeping.
 Guides followed (profile first, then strip the bottleneck): the Fraction
 scheduler spends >90% of its time in rational arithmetic; this mirror is
 typically 20–50× faster and agrees exactly with the exact scheduler on
-dyadic inputs (asserted in the test suite).
+dyadic inputs (asserted property-based in the test suite).
+
+Exactness contract
+------------------
+The scheduler loop uses **exact** float comparisons, not tolerances.  On
+dyadic inputs (every ``r_j`` of the form ``a / 2^k``) with moderate
+magnitudes, every quantity the loop derives — window sums, ``budget -
+others``, ``min``, remainders, floor divisions — is itself exactly
+representable in a double, so each predicate is decided exactly as the
+Fraction scheduler decides it and the makespans agree bit for bit.
+Tolerance slack here would *break* that guarantee: any input granularity
+finer than the tolerance (e.g. a job of ``2^-35`` with a ``1e-9``
+epsilon) makes the mirror silently drop sub-epsilon remainders and
+under-count steps.  Non-dyadic inputs incur ordinary rounding noise; the
+result is then approximate, but each step still finishes a job or
+bulk-advances a lone oversized job by at least ``budget``, so the loop
+always terminates after at most ``2n + Σ r_j / budget`` iterations.
+
+``_EPS`` is retained solely for :func:`fast_pack_bins`, whose
+lower-bound computation rounds noisy float *sums* to integers and needs
+slack before ``ceil`` (there the inputs are untrusted floats and the
+output is an integer bound, not a step-by-step mirror).
 
 Only the unit-size variant is mirrored: it is the one used by the
 bin-packing pipeline where huge item counts are natural.
@@ -20,7 +41,10 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Dict, List, Sequence, Tuple
 
-#: comparisons treat |a - b| <= _EPS as equality
+#: integer-rounding guard for :func:`fast_pack_bins` only: ``ceil(x - _EPS)``
+#: absorbs accumulation noise in float sums before rounding to an integer
+#: bound.  The scheduler loop in :func:`fast_unit_makespan` deliberately does
+#: NOT use it — see the module docstring's exactness contract.
 _EPS = 1e-9
 
 
@@ -30,6 +54,13 @@ def fast_unit_makespan(
     """Makespan of the m-maximal-window unit-size algorithm, float mode.
 
     *requirements* are the unit jobs' ``r_j`` values (any order).
+
+    Agrees exactly with :func:`repro.core.unit.schedule_unit` whenever the
+    inputs are dyadic rationals (denominator a power of two) representable
+    as doubles: all comparisons below are exact and all intermediate values
+    stay exactly representable, so every window/assignment decision matches
+    the Fraction path (see the module docstring).  For non-dyadic inputs the
+    result is approximate but the loop still terminates.
     """
     if m < 1:
         raise ValueError("m must be >= 1")
@@ -60,14 +91,14 @@ def fast_unit_makespan(
         else:
             lo = hi = 0
             r_w = 0.0
-        while hi - lo < m and lo > 0 and r_w < budget - _EPS:
+        while hi - lo < m and lo > 0 and r_w < budget:
             lo -= 1
             r_w += values[lo][0]
-        while r_w < budget - _EPS and hi < len(values) and hi - lo < m:
+        while r_w < budget and hi < len(values) and hi - lo < m:
             r_w += values[hi][0]
             hi += 1
         while (
-            r_w < budget - _EPS
+            r_w < budget
             and hi < len(values)
             and lo != iota_idx
         ):
@@ -79,16 +110,17 @@ def fast_unit_makespan(
         last_value, last_id = values[hi - 1]
         others = r_w - last_value
         last_share = min(budget - others, last_value)
-        if last_share <= _EPS:
+        if last_share <= 0.0:
             raise RuntimeError("float window assignment bug")
-        # bulk a lone oversized job
+        # bulk a lone oversized job (lone ⇒ others == 0.0 exactly, so
+        # last_share == budget iff last_value >= budget — no tolerance needed)
         count = 1
-        if hi - lo == 1 and last_share >= budget - _EPS:
+        if hi - lo == 1 and last_share == budget:
             count = max(int(last_value // budget), 1)
         steps += count
         rem = last_value - count * last_share
         del values[lo:hi]
-        if rem > _EPS:
+        if rem > 0.0:
             entry = (rem, last_id)
             iota_idx = bisect_left(values, entry)
             values.insert(iota_idx, entry)

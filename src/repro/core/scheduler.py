@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..numeric import ceil_div
 from .assignment import StepAssignment, compute_assignment
@@ -64,6 +64,27 @@ class SRJResult:
     steps_full_resource: int = 0
     #: total wasted resource over the run
     total_waste: Fraction = Fraction(0)
+
+    def iter_steps(self) -> Iterator[Mapping[int, Tuple[int, Fraction]]]:
+        """Stream the schedule step-by-step without materializing it.
+
+        Yields one mapping ``job_id -> (processor, share)`` per time step,
+        expanding the RLE trace lazily — ``makespan`` steps in total, with
+        memory bounded by the widest single step.  For a run of ``k``
+        identical steps the *same* mapping object is yielded ``k`` times;
+        treat it as read-only (copy if you need to keep it).
+
+        This is what validators should consume for large instances, where
+        :meth:`schedule` would materialize millions of :class:`Step`
+        objects (see :func:`repro.core.validate.validate_result`).
+        """
+        for run in self.trace:
+            step = {
+                j: (run.processors[j], share)
+                for j, share in run.shares.items()
+            }
+            for _ in range(run.count):
+                yield step
 
     def schedule(self, max_steps: int = 1_000_000) -> Schedule:
         """Expand the RLE trace into a full :class:`Schedule`.

@@ -11,17 +11,30 @@ The validator re-checks, from first principles (Section 1.1 of the paper):
 * completion: every job accumulates its full ``s_j``;
 * no processing beyond completion.
 
-:func:`validate_schedule` returns a :class:`ValidationReport`;
-:func:`assert_valid` raises ``ScheduleError`` with all violations listed.
+Two entry points share one *streaming* core (memory bounded by ``O(n + m)``,
+independent of the makespan):
+
+* :func:`validate_schedule` checks a materialized
+  :class:`~repro.core.schedule.Schedule`;
+* :func:`validate_result` checks an :class:`~repro.core.scheduler.SRJResult`
+  directly via :meth:`~repro.core.scheduler.SRJResult.iter_steps`, so
+  million-step schedules never need to be expanded.
+
+:func:`assert_valid` / :func:`assert_result_valid` raise
+``ScheduleError`` with all violations listed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 
+from .instance import Instance
 from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import SRJResult
 
 
 class ScheduleError(AssertionError):
@@ -40,58 +53,79 @@ class ValidationReport:
         return self.ok
 
 
-def validate_schedule(
-    schedule: Schedule,
-    budget: Fraction = Fraction(1),
-    require_all_finished: bool = True,
+def _validate_steps(
+    inst: Instance,
+    steps: Iterable[Iterable[Tuple[int, int, Fraction]]],
+    budget: Fraction,
+    require_all_finished: bool,
 ) -> ValidationReport:
-    """Check *schedule* against every model rule; collect all violations."""
-    inst = schedule.instance
+    """Streaming validation core.
+
+    *steps* yields, per time step, the ``(job_id, processor, share)``
+    triples executed in that step.  Per-job state is O(1): received volume,
+    finish step, the active interval ``[first, last]`` with a step counter
+    (contiguity ⇔ ``count == last - first + 1``), and the owning processor.
+    """
     violations: List[str] = []
 
     received: Dict[int, Fraction] = {j.id: Fraction(0) for j in inst.jobs}
     finished_at: Dict[int, int] = {}
-    active_steps: Dict[int, List[int]] = {j.id: [] for j in inst.jobs}
-    processors_used: Dict[int, set] = {j.id: set() for j in inst.jobs}
+    # per job: [first_active, last_active, n_active] (1-indexed steps)
+    interval: Dict[int, List[int]] = {}
+    # per job: owning processor, or -1 once more than one was seen
+    owner: Dict[int, int] = {}
 
-    for t, step in enumerate(schedule.steps, start=1):
+    t = 0
+    for t, step in enumerate(steps, start=1):
         total = Fraction(0)
         procs_this_step = set()
         jobs_this_step = set()
-        for piece in step.pieces:
-            jid = piece.job_id
+        for jid, proc, share in step:
             if jid not in received:
                 violations.append(f"step {t}: unknown job id {jid}")
                 continue
             if jid in jobs_this_step:
                 violations.append(f"step {t}: job {jid} scheduled twice")
             jobs_this_step.add(jid)
-            if piece.processor in procs_this_step:
+            if proc in procs_this_step:
                 violations.append(
-                    f"step {t}: processor {piece.processor} runs two jobs"
+                    f"step {t}: processor {proc} runs two jobs"
                 )
-            procs_this_step.add(piece.processor)
-            if piece.processor >= inst.m:
+            procs_this_step.add(proc)
+            if proc >= inst.m:
                 violations.append(
-                    f"step {t}: processor {piece.processor} out of range "
+                    f"step {t}: processor {proc} out of range "
                     f"(m={inst.m})"
                 )
             r = inst.requirement(jid)
-            if piece.share > r:
+            if share > r:
                 violations.append(
-                    f"step {t}: job {jid} share {piece.share} exceeds r_j={r}"
+                    f"step {t}: job {jid} share {share} exceeds r_j={r}"
                 )
-            if piece.share < 0:
+            if share < 0:
                 violations.append(f"step {t}: job {jid} negative share")
             if jid in finished_at:
                 violations.append(
                     f"step {t}: job {jid} processed after finishing at "
                     f"step {finished_at[jid]}"
                 )
-            total += piece.share
-            active_steps[jid].append(t)
-            processors_used[jid].add(piece.processor)
-            received[jid] += min(piece.share, r)
+            total += share
+            iv = interval.get(jid)
+            if iv is None:
+                interval[jid] = [t, t, 1]
+            else:
+                iv[1] = t
+                iv[2] += 1
+            prev = owner.get(jid)
+            if prev is None:
+                owner[jid] = proc
+            elif prev != proc and prev != -1:
+                owner[jid] = -1
+                violations.append(
+                    f"job {jid}: migrated across processors "
+                    f"{sorted({prev, proc})}"
+                )
+            received[jid] += min(share, r)
             if (
                 jid not in finished_at
                 and received[jid] >= inst.total_requirement(jid)
@@ -107,17 +141,13 @@ def validate_schedule(
             )
 
     for job in inst.jobs:
-        steps = active_steps[job.id]
-        if steps:
-            lo, hi = steps[0], steps[-1]
-            if steps != list(range(lo, hi + 1)):
+        iv = interval.get(job.id)
+        if iv is not None:
+            first, last, count = iv
+            if count != last - first + 1:
                 violations.append(
-                    f"job {job.id}: preempted (active steps {steps})"
-                )
-            if len(processors_used[job.id]) > 1:
-                violations.append(
-                    f"job {job.id}: migrated across processors "
-                    f"{sorted(processors_used[job.id])}"
+                    f"job {job.id}: preempted (active in steps "
+                    f"{first}..{last} but only {count} of them)"
                 )
         if require_all_finished:
             if received[job.id] < job.total_requirement:
@@ -127,7 +157,47 @@ def validate_schedule(
                 )
 
     return ValidationReport(
-        ok=not violations, violations=violations, makespan=schedule.makespan
+        ok=not violations, violations=violations, makespan=t
+    )
+
+
+def validate_schedule(
+    schedule: Schedule,
+    budget: Fraction = Fraction(1),
+    require_all_finished: bool = True,
+) -> ValidationReport:
+    """Check *schedule* against every model rule; collect all violations."""
+    return _validate_steps(
+        schedule.instance,
+        (
+            [(p.job_id, p.processor, p.share) for p in step.pieces]
+            for step in schedule.steps
+        ),
+        budget,
+        require_all_finished,
+    )
+
+
+def validate_result(
+    result: "SRJResult",
+    budget: Fraction = Fraction(1),
+    require_all_finished: bool = True,
+) -> ValidationReport:
+    """Check a scheduler result without materializing its schedule.
+
+    Streams the RLE trace via
+    :meth:`~repro.core.scheduler.SRJResult.iter_steps`, so memory stays
+    bounded regardless of the makespan (million-step schedules validate in
+    O(n + m) space).
+    """
+    return _validate_steps(
+        result.instance,
+        (
+            [(jid, proc, share) for jid, (proc, share) in step.items()]
+            for step in result.iter_steps()
+        ),
+        budget,
+        require_all_finished,
     )
 
 
@@ -138,6 +208,20 @@ def assert_valid(
 ) -> None:
     """Raise :class:`ScheduleError` listing every violation, if any."""
     report = validate_schedule(schedule, budget, require_all_finished)
+    if not report.ok:
+        raise ScheduleError(
+            f"{len(report.violations)} violation(s):\n  "
+            + "\n  ".join(report.violations)
+        )
+
+
+def assert_result_valid(
+    result: "SRJResult",
+    budget: Fraction = Fraction(1),
+    require_all_finished: bool = True,
+) -> None:
+    """Streaming variant of :func:`assert_valid` for scheduler results."""
+    report = validate_result(result, budget, require_all_finished)
     if not report.ok:
         raise ScheduleError(
             f"{len(report.violations)} violation(s):\n  "

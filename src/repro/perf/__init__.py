@@ -1,0 +1,53 @@
+"""Performance subsystem: exact integer kernels, parallel sweeps, benches.
+
+The exact schedulers in :mod:`repro.core` decide every predicate over
+:class:`fractions.Fraction`; profiling (``python -m repro.analysis.profiling``)
+shows rational arithmetic dominating their runtime.  This package provides
+
+* :mod:`repro.perf.intkernel` — a **scaled-integer kernel** for the general
+  sliding-window scheduler: all quantities are rescaled by the LCM ``D`` of
+  the requirement denominators so that every predicate becomes pure integer
+  arithmetic.  Unlike the float mirror in :mod:`repro.core.fastfloat` the
+  results are *bit-for-bit identical* to the Fraction path.
+  :func:`solve_srj` selects a backend (``"auto" | "fraction" | "int"``).
+* :mod:`repro.perf.unitint` — the same treatment for the unit-size
+  algorithm and the Corollary-3.9 bin-packing pipeline
+  (:func:`int_unit_makespan`, :func:`int_pack_bins`).
+* :mod:`repro.perf.parallel` — a deterministic
+  :class:`~concurrent.futures.ProcessPoolExecutor` sweep runner used by the
+  experiment harness (:func:`parallel_map`, :func:`seed_for`).
+* :mod:`repro.perf.bench` — the bench-regression harness producing
+  ``BENCH_1.json`` (wall-clock per backend, speedup, peak RSS).
+
+See ``docs/PERFORMANCE.md`` for the exactness argument and usage.
+"""
+
+from .intkernel import (
+    IntSlidingWindowScheduler,
+    common_denominator,
+    solve_srj,
+)
+from .parallel import auto_workers, parallel_map, seed_for
+from .unitint import int_pack_bins, int_unit_makespan
+
+__all__ = [
+    "IntSlidingWindowScheduler",
+    "common_denominator",
+    "solve_srj",
+    "int_unit_makespan",
+    "int_pack_bins",
+    "parallel_map",
+    "seed_for",
+    "auto_workers",
+    "run_bench",
+]
+
+
+def __getattr__(name: str):
+    # lazy so `python -m repro.perf.bench` doesn't double-import the module
+    # (runpy warns when the package __init__ already loaded it)
+    if name == "run_bench":
+        from .bench import run_bench
+
+        return run_bench
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,176 @@
+"""Bench-regression harness: E4 runtime on both backends → ``BENCH_1.json``.
+
+Runs the E4-style runtime sweep (uniform family, n-sweep at fixed m plus an
+m-sweep at fixed n) on the Fraction reference backend and the scaled-integer
+kernel, cross-checks that both produce identical makespans, and records
+
+* per-point wall-clock (best of ``reps``) for both backends and the speedup,
+* the power-law exponents of time vs n (the Theorem 3.3 scaling claim),
+* peak RSS of the process (``resource.getrusage``, portable — no psutil),
+
+into a JSON file so subsequent PRs have a perf trajectory to diff against.
+
+Usage::
+
+    python -m repro.perf.bench                # small scale, writes BENCH_1.json
+    python -m repro.perf.bench --scale full -o BENCH_1.json
+
+or from code / the benchmark harness::
+
+    from repro.perf import run_bench
+    report = run_bench(scale="small")
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .intkernel import solve_srj
+from .parallel import seed_for
+
+__all__ = ["run_bench", "peak_rss_kb", "write_report"]
+
+#: schema version of the emitted JSON (bump on incompatible change)
+SCHEMA = 1
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize to KiB.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        rss //= 1024
+    return int(rss)
+
+
+def _sweep_points(scale: str) -> Dict[str, List[int]]:
+    if scale == "small":
+        return {"ns": [50, 100, 200, 400], "ms": [4, 8, 16, 32],
+                "n_fixed": [200], "m_fixed": [8], "reps": [2]}
+    if scale == "full":
+        return {"ns": [100, 200, 400, 800, 1600], "ms": [4, 8, 16, 32, 64],
+                "n_fixed": [800], "m_fixed": [8], "reps": [3]}
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def _time_backend(inst, backend: str, reps: int) -> tuple:
+    best = float("inf")
+    makespan = 0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = solve_srj(inst, backend=backend)
+        best = min(best, time.perf_counter() - t0)
+        makespan = res.makespan
+    return best, makespan
+
+
+def run_bench(
+    scale: str = "small",
+    seed: int = 0,
+    out: Optional[str] = None,
+    reps: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the two-backend E4 sweep; return (and optionally write) a report."""
+    from ..workloads import make_instance
+    import random
+
+    p = _sweep_points(scale)
+    reps = reps if reps is not None else p["reps"][0]
+    m_fixed, n_fixed = p["m_fixed"][0], p["n_fixed"][0]
+    rows: List[Dict[str, object]] = []
+
+    def run_point(sweep: str, m: int, n: int, idx: int) -> None:
+        rng = random.Random(seed_for(seed, idx))
+        inst = make_instance("uniform", rng, m, n)
+        t_frac, mk_frac = _time_backend(inst, "fraction", reps)
+        t_int, mk_int = _time_backend(inst, "int", reps)
+        if mk_frac != mk_int:
+            raise AssertionError(
+                f"backend mismatch at (m={m}, n={n}): "
+                f"fraction makespan {mk_frac} != int makespan {mk_int}"
+            )
+        rows.append({
+            "sweep": sweep, "m": m, "n": n, "makespan": mk_frac,
+            "fraction_s": round(t_frac, 6), "int_s": round(t_int, 6),
+            "speedup": round(t_frac / t_int, 2) if t_int > 0 else float("inf"),
+        })
+
+    idx = 0
+    for n in p["ns"]:
+        run_point("n", m_fixed, n, idx)
+        idx += 1
+    for m in p["ms"]:
+        run_point("m", m, n_fixed, idx)
+        idx += 1
+
+    n_rows = [r for r in rows if r["sweep"] == "n"]
+    largest = max(n_rows, key=lambda r: r["n"])
+    from ..analysis.stats import fit_power_law
+
+    exp_frac, _ = fit_power_law(
+        [float(r["n"]) for r in n_rows], [max(r["fraction_s"], 1e-9) for r in n_rows]
+    )
+    exp_int, _ = fit_power_law(
+        [float(r["n"]) for r in n_rows], [max(r["int_s"], 1e-9) for r in n_rows]
+    )
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "bench": "E4 runtime, fraction vs int backend",
+        "scale": scale,
+        "seed": seed,
+        "reps": reps,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rows": rows,
+        "summary": {
+            "largest_n": largest["n"],
+            "speedup_at_largest_n": largest["speedup"],
+            "max_speedup": max(r["speedup"] for r in rows),
+            "min_speedup": min(r["speedup"] for r in rows),
+            "power_law_exponent_fraction": round(exp_frac, 3),
+            "power_law_exponent_int": round(exp_int, 3),
+            "peak_rss_kb": peak_rss_kb(),
+        },
+    }
+    if out:
+        write_report(report, out)
+    return report
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write *report* as pretty-printed JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="two-backend E4 runtime bench; emits BENCH_1.json",
+    )
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--out", default="BENCH_1.json")
+    args = parser.parse_args(argv)
+    report = run_bench(scale=args.scale, seed=args.seed, out=args.out)
+    s = report["summary"]
+    print(f"wrote {args.out}")
+    print(
+        f"speedup at n={s['largest_n']}: {s['speedup_at_largest_n']}x "
+        f"(max {s['max_speedup']}x, min {s['min_speedup']}x); "
+        f"peak RSS {s['peak_rss_kb']} KiB"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -14,6 +14,15 @@ from repro.core.unit import schedule_unit
 #: must agree with the exact scheduler *exactly* on them
 dyadic = st.builds(Fraction, st.integers(min_value=1, max_value=128), st.just(128))
 
+#: fine dyadics down to 2^-45 — far below any fixed tolerance, yet still
+#: exactly representable; these catch epsilon comparisons masquerading as
+#: exact ones (a 1e-9 slack silently drops 2^-35 remainders)
+fine_dyadic = st.builds(
+    lambda k, num: Fraction(num, 2**k),
+    st.sampled_from([1, 3, 10, 20, 30, 35, 40, 45]),
+    st.integers(min_value=1, max_value=10**6),
+)
+
 
 class TestBasics:
     def test_empty(self):
@@ -51,6 +60,45 @@ class TestExactAgreement:
         exact = schedule_unit(inst).makespan
         fast = fast_unit_makespan([float(r) for r in reqs], m)
         assert exact == fast
+
+    @given(
+        m=st.integers(min_value=2, max_value=8),
+        reqs=st.lists(fine_dyadic, min_size=1, max_size=15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_fine_dyadics(self, m, reqs):
+        inst = Instance.from_requirements(m, reqs)
+        exact = schedule_unit(inst).makespan
+        fast = fast_unit_makespan([float(r) for r in reqs], m)
+        assert exact == fast
+
+    def test_sub_epsilon_sliver_not_dropped(self):
+        # regression: a 2^-35 job is finer than any fixed 1e-9 tolerance.
+        # Each unit job leaves a 2^-35 remainder the mirror must carry
+        # (dropping it under-counts the makespan: 2 instead of 3).
+        reqs = [Fraction(1, 2**35), Fraction(1), Fraction(1)]
+        inst = Instance.from_requirements(2, reqs)
+        exact = schedule_unit(inst).makespan
+        fast = fast_unit_makespan([float(r) for r in reqs], 2)
+        assert exact == fast == 3
+
+    def test_seeded_random_corpus(self):
+        import random
+
+        rng = random.Random(0xF457F10A7)
+        for _ in range(150):
+            m = rng.randint(2, 8)
+            n = rng.randint(1, 12)
+            reqs = [
+                Fraction(
+                    rng.randint(1, 2 ** (k + 1)), 2**k
+                )
+                for k in (rng.choice([2, 7, 16, 33, 40]) for _ in range(n))
+            ]
+            inst = Instance.from_requirements(m, reqs)
+            exact = schedule_unit(inst).makespan
+            fast = fast_unit_makespan([float(r) for r in reqs], m)
+            assert exact == fast, (m, reqs)
 
     def test_large_instance_sane(self):
         import random
