@@ -2,21 +2,35 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench perf-check check
+.PHONY: test bench-smoke bench bench-srt perf-check lint-hotpath check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# fast bench smoke: E4 table + micro-benches + BENCH_1.json at small scale
+# fast bench smoke: E4 + SRT micro-benches + BENCH_1/BENCH_2 at small scale
 bench-smoke:
-	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest benchmarks/bench_e4_runtime.py -q
+	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest \
+		benchmarks/bench_e4_runtime.py benchmarks/bench_srt_runtime.py -q
 
-# regenerate the standalone bench-regression artifact
+# regenerate the standalone bench-regression artifacts
 bench:
 	$(PYTHON) -m repro.perf.bench --scale small -o BENCH_1.json
+
+bench-srt:
+	$(PYTHON) -m repro.perf.bench_srt --scale small -o BENCH_2.json
 
 # the int backend must spend < 10% of its profiled time in fractions.*
 perf-check:
 	$(PYTHON) -m repro.analysis.profiling
 
-check: test perf-check bench-smoke
+# the backend-generic engine hot path must stay free of exact-rational
+# arithmetic: any Fraction usage in these modules belongs in a backend
+lint-hotpath:
+	@! grep -nE 'Fraction|fractions' \
+		src/repro/engine/loop.py \
+		src/repro/engine/state.py \
+		src/repro/engine/policies.py \
+		|| (echo "lint-hotpath: exact-rational arithmetic found in engine hot path" && exit 1)
+	@echo "lint-hotpath: OK"
+
+check: test lint-hotpath perf-check bench-smoke

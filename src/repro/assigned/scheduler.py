@@ -14,6 +14,12 @@ natural combinatorial policies in the spirit of Brinkmann et al. [3]
 
 All policies are work-conserving: leftover budget cascades to unsaturated
 heads, so a step never idles resource that some head could absorb.
+
+The step loop lives in :mod:`repro.engine`
+(:class:`~repro.engine.policies.AssignedQueuePolicy`).  ``proportional``
+uses true division and therefore always runs on the exact-rational
+backend; the other policies honor ``backend`` (``"auto"``/``"int"`` is the
+scaled-integer fast path, bit-identical).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List, Tuple
 
+from ..engine import api as _engine
 from ..numeric import frac_sum
 from .model import AssignedInstance
 
@@ -49,83 +56,18 @@ def schedule_assigned(
     policy: str = "smallest_first",
     budget: Fraction = Fraction(1),
     max_steps: int = 10_000_000,
+    backend: str = "auto",
 ) -> AssignedResult:
     """Run the chosen per-step policy to completion."""
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; have {POLICIES}")
     if budget <= 0:
         raise ValueError("budget must be positive")
-    # per processor: index of current head; remaining s of each job
-    heads = [0] * instance.m
-    remaining: Dict[JobKey, Fraction] = {
-        job.key: job.total_requirement for job in instance.jobs()
-    }
-    completion: Dict[JobKey, int] = {}
-    utilization: List[Fraction] = []
-    t = 0
-    while any(heads[i] < len(q) for i, q in enumerate(instance.queues)):
-        t += 1
-        if t > max_steps:
-            raise RuntimeError("assigned scheduler exceeded max_steps")
-        current = [
-            instance.queues[i][heads[i]]
-            for i in range(instance.m)
-            if heads[i] < len(instance.queues[i])
-        ]
-        shares = _distribute(current, remaining, budget, policy)
-        used = Fraction(0)
-        for job in current:
-            share = shares.get(job.key, Fraction(0))
-            if share <= 0:
-                continue
-            used += share
-            remaining[job.key] -= share
-            if remaining[job.key] <= 0:
-                completion[job.key] = t
-                heads[job.processor] += 1
-        utilization.append(used)
-        if used <= 0:
-            raise RuntimeError("assigned scheduler made no progress")
+    makespan, completion, utilization = _engine.run_assigned(
+        instance, policy, budget, max_steps=max_steps, backend=backend
+    )
     return AssignedResult(
-        makespan=t, completion_times=completion, utilization=utilization
+        makespan=makespan,
+        completion_times=completion,
+        utilization=utilization,
     )
-
-
-def _distribute(current, remaining, budget, policy) -> Dict[JobKey, Fraction]:
-    caps = {
-        job.key: min(job.requirement, remaining[job.key]) for job in current
-    }
-    if policy == "proportional":
-        total_req = frac_sum(job.requirement for job in current)
-        shares: Dict[JobKey, Fraction] = {}
-        left = budget
-        # proportional seed, capped; then cascade the slack smallest-first
-        for job in current:
-            seed = min(budget * job.requirement / total_req, caps[job.key])
-            shares[job.key] = seed
-            left -= seed
-        if left > 0:
-            for job in sorted(current, key=lambda j: (j.requirement, j.key)):
-                room = caps[job.key] - shares[job.key]
-                if room <= 0:
-                    continue
-                extra = min(room, left)
-                shares[job.key] += extra
-                left -= extra
-                if left <= 0:
-                    break
-        return shares
-    reverse = policy == "largest_first"
-    ordered = sorted(
-        current, key=lambda j: (j.requirement, j.key), reverse=reverse
-    )
-    shares = {}
-    left = budget
-    for job in ordered:
-        share = min(caps[job.key], left)
-        if share > 0:
-            shares[job.key] = share
-            left -= share
-        if left <= 0:
-            break
-    return shares

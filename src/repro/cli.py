@@ -22,6 +22,7 @@ from fractions import Fraction
 from typing import List, Optional
 
 from .analysis import ALL_EXPERIMENTS
+from .engine import BACKENDS
 from .binpacking import (
     make_items,
     pack_next_fit,
@@ -44,15 +45,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         ],
         sizes=[3, 2, 1, 2, 4],
     )
-    result = schedule_srj(inst)
+    result = schedule_srj(inst, backend=args.backend)
     print(f"instance: m={inst.m}, n={inst.n}")
     print(f"lower bound (Eq. 1): {makespan_lower_bound(inst)}")
     print(f"makespan:            {result.makespan}")
     print("timeline (job: share per step):")
-    sched = result.schedule()
-    for t, step in enumerate(sched.steps, start=1):
+    for t, step in enumerate(result.iter_steps(), start=1):
         cells = ", ".join(
-            f"j{p.job_id}@p{p.processor}:{p.share}" for p in step.pieces
+            f"j{j}@p{p}:{share}" for j, (p, share) in sorted(step.items())
         )
         print(f"  t={t:>2}  {cells}")
     return 0
@@ -61,7 +61,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_srj(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     inst = make_instance(args.family, rng, args.m, args.n)
-    result = schedule_srj(inst)
+    result = schedule_srj(inst, backend=args.backend)
     lb = makespan_lower_bound(inst)
     print(f"family={args.family} m={args.m} n={args.n} seed={args.seed}")
     print(f"makespan={result.makespan}  LB={lb}  ratio={result.makespan/lb:.4f}")
@@ -87,7 +87,7 @@ def _cmd_binpack(args: argparse.Namespace) -> int:
 def _cmd_tasks(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     ti = make_taskset(args.family, rng, args.m, args.k)
-    res = schedule_tasks(ti)
+    res = schedule_tasks(ti, backend=args.backend)
     lb = srt_lower_bound(ti)
     s = res.sum_completion_times()
     print(f"family={args.family} m={args.m} tasks={args.k} jobs={ti.n_jobs}")
@@ -149,34 +149,38 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     with open(args.input) as fh:
         inst = instance_from_json(fh.read())
+    # window/unit return trace-bearing results that render without
+    # materializing a Schedule; the simulator baselines return Schedules.
+    renderable = None
     if args.algorithm == "window":
-        result = schedule_srj(inst)
-        schedule = result.schedule(max_steps=args.max_steps)
+        renderable = schedule_srj(inst, backend=args.backend)
     elif args.algorithm == "unit":
         from .core.unit import schedule_unit
 
-        result = schedule_unit(inst)
-        schedule = result.schedule(max_steps=args.max_steps)
+        renderable = schedule_unit(inst, backend=args.backend)
     elif args.algorithm == "list":
         from .baselines import schedule_list_scheduling
 
-        sim = schedule_list_scheduling(inst)
-        schedule = sim.schedule
+        renderable = schedule_list_scheduling(inst).schedule
     elif args.algorithm == "greedy":
         from .baselines import schedule_greedy_fill
 
-        sim = schedule_greedy_fill(inst)
-        schedule = sim.schedule
+        renderable = schedule_greedy_fill(inst).schedule
     else:  # pragma: no cover - argparse choices guard this
         raise ValueError(args.algorithm)
     lb = makespan_lower_bound(inst)
     print(
-        f"algorithm={args.algorithm} makespan={schedule.makespan} LB={lb} "
-        f"ratio={schedule.makespan/lb:.4f}"
+        f"algorithm={args.algorithm} makespan={renderable.makespan} LB={lb} "
+        f"ratio={renderable.makespan/lb:.4f}"
     )
     if args.gantt:
-        print(render_gantt(schedule))
+        print(render_gantt(renderable))
     if args.output:
+        schedule = (
+            renderable.schedule(max_steps=args.max_steps)
+            if hasattr(renderable, "iter_steps")
+            else renderable
+        )
         with open(args.output, "w") as fh:
             fh.write(schedule_to_json(schedule) + "\n")
         print(f"wrote schedule to {args.output}")
@@ -230,7 +234,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--backend",
+            choices=BACKENDS,
+            default="auto",
+            help="numeric backend: exact rationals ('fraction') or the "
+            "bit-identical scaled-integer fast path ('int'; 'auto' "
+            "selects it)",
+        )
+
     p = sub.add_parser("demo", help="schedule a toy instance, print timeline")
+    add_backend_flag(p)
     p.set_defaults(func=_cmd_demo)
 
     p = sub.add_parser("srj", help="run Listing 1 on a generated workload")
@@ -238,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-m", type=int, default=8)
     p.add_argument("-n", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
+    add_backend_flag(p)
     p.set_defaults(func=_cmd_srj)
 
     p = sub.add_parser("binpack", help="bin packing with splittable items")
@@ -251,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-m", type=int, default=8)
     p.add_argument("-k", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    add_backend_flag(p)
     p.set_defaults(func=_cmd_tasks)
 
     p = sub.add_parser(
@@ -281,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt", action="store_true")
     p.add_argument("-o", "--output", default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
+    add_backend_flag(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser(

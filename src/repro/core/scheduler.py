@@ -2,10 +2,8 @@
 
 Per time step the scheduler
 
-1. computes an (m-1)-maximal job window (Lines 2–5, via
-   :func:`repro.core.window.compute_window`),
-2. computes the Case-1/Case-2 resource assignment (Lines 6–20, via
-   :func:`repro.core.assignment.compute_assignment`), and
+1. computes an (m-1)-maximal job window (Lines 2–5),
+2. computes the Case-1/Case-2 resource assignment (Lines 6–20), and
 3. applies the shares to the state.
 
 Two execution modes are provided:
@@ -20,177 +18,53 @@ Two execution modes are provided:
   ``O((m+n)·n)`` running-time argument (proof of Theorem 3.3): steps in
   which nothing finishes are skipped with a closed-form jump.
 
+Since the engine refactor the step loop itself lives in
+:mod:`repro.engine` (:class:`~repro.engine.policies.SlidingWindowPolicy`
+driven by :func:`repro.engine.api.solve_srj`); this module keeps the
+historical entry points on the exact-rational backend and re-exports the
+canonical trace types (:class:`TraceRun`, :class:`SRJResult`, now defined
+in :mod:`repro.engine.trace`).  The step-by-step auxiliary procedures
+(``compute_window``/``compute_assignment`` over a
+:class:`~repro.core.state.SchedulerState`) remain available in
+:mod:`repro.core.window` / :mod:`repro.core.assignment` for the validators
+and the simulator policies.
+
 The produced trace is run-length encoded; :meth:`SRJResult.schedule`
 expands it to a full :class:`~repro.core.schedule.Schedule` on demand.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Optional
 
-from ..numeric import ceil_div
-from .assignment import StepAssignment, compute_assignment
+from ..engine import api as _engine
+from ..engine.backends.fraction import (
+    steps_until_status_change as _steps_until_status_change,
+)
+from ..engine.trace import SRJResult, TraceRun
 from .instance import Instance
-from .schedule import Schedule
-from .state import SchedulerState
-from .window import compute_window
 
+__all__ = [
+    "SRJResult",
+    "TraceRun",
+    "SlidingWindowScheduler",
+    "schedule_srj",
+]
 
-@dataclass
-class TraceRun:
-    """A run of *count* identical time steps with the given shares."""
+#: trivial m = 1 serial scheduler (kept under its historical name)
+_run_serial = _engine.run_serial
 
-    shares: Dict[int, Fraction]
-    processors: Dict[int, int]
-    count: int
-    case: str
-    window: List[int]
-
-
-@dataclass
-class SRJResult:
-    """Outcome of a scheduler run."""
-
-    instance: Instance
-    makespan: int
-    completion_times: Dict[int, int]
-    trace: List[TraceRun] = field(default_factory=list)
-    #: number of steps in which ≥ m-2 jobs got their full requirement
-    steps_full_jobs: int = 0
-    #: number of steps in which the whole resource budget was used
-    steps_full_resource: int = 0
-    #: total wasted resource over the run
-    total_waste: Fraction = Fraction(0)
-
-    def iter_steps(self) -> Iterator[Mapping[int, Tuple[int, Fraction]]]:
-        """Stream the schedule step-by-step without materializing it.
-
-        Yields one mapping ``job_id -> (processor, share)`` per time step,
-        expanding the RLE trace lazily — ``makespan`` steps in total, with
-        memory bounded by the widest single step.  For a run of ``k``
-        identical steps the *same* mapping object is yielded ``k`` times;
-        treat it as read-only (copy if you need to keep it).
-
-        This is what validators should consume for large instances, where
-        :meth:`schedule` would materialize millions of :class:`Step`
-        objects (see :func:`repro.core.validate.validate_result`).
-        """
-        for run in self.trace:
-            step = {
-                j: (run.processors[j], share)
-                for j, share in run.shares.items()
-            }
-            for _ in range(run.count):
-                yield step
-
-    def schedule(self, max_steps: int = 1_000_000) -> Schedule:
-        """Expand the RLE trace into a full :class:`Schedule`.
-
-        Refuses to materialize more than *max_steps* steps.
-        """
-        if self.makespan > max_steps:
-            raise ValueError(
-                f"schedule has {self.makespan} steps; raise max_steps to expand"
-            )
-        sched = Schedule(instance=self.instance)
-        for run in self.trace:
-            for _ in range(run.count):
-                sched.append_step(
-                    {
-                        j: (run.processors[j], share)
-                        for j, share in run.shares.items()
-                    }
-                )
-        return sched
-
-
-def _steps_until_status_change(
-    remaining: Fraction, share: Fraction, requirement: Fraction
-) -> Optional[int]:
-    """Smallest ``i ≥ 1`` such that subtracting ``i·share`` from *remaining*
-    flips the fractured predicate (``remaining mod requirement ≠ 0``), or
-    None if the status never changes before the job finishes.
-
-    Solved exactly by reducing to the congruence ``i·C ≡ A (mod R)`` over
-    the integers obtained by clearing denominators.
-    """
-    if share <= 0 or share >= requirement:
-        # full-requirement (or zero) shares preserve the fractured predicate
-        return None
-    lcm_den = math.lcm(
-        remaining.denominator, share.denominator, requirement.denominator
-    )
-    a = remaining.numerator * (lcm_den // remaining.denominator)
-    c = share.numerator * (lcm_den // share.denominator)
-    r = requirement.numerator * (lcm_den // requirement.denominator)
-    if a % r == 0:
-        # currently unfractured; one partial step fractures it
-        return 1
-    # fractured now: find smallest i >= 1 with i*c ≡ a (mod r)
-    g = math.gcd(c, r)
-    if a % g != 0:
-        return None
-    r_red = r // g
-    if r_red == 1:
-        return 1
-    i0 = (a // g) * pow(c // g, -1, r_red) % r_red
-    return i0 if i0 >= 1 else r_red
-
-
-def _bulk_horizon(
-    state: SchedulerState, assignment: StepAssignment, window_max: int
-) -> int:
-    """How many consecutive steps the current share vector provably equals
-    what the step-exact algorithm would compute.
-
-    Three limits apply per job with share ``c``:
-
-    * *finish*: once ``s_j`` drops below ``c`` the step-exact algorithm caps
-      the share (and may trigger an extra start), so the vector is reusable
-      for ``⌊s_j/c⌋`` steps only;
-    * *fracture status*: a partially-served job flipping between fractured
-      and unfractured changes ``F`` and hence potentially the case branch —
-      except for the one provably stable configuration: a *unique* partial
-      job that is ``max W``.  There, both branches assign the identical
-      remainder ``budget - r(W \\ {max W})``, so status flips are harmless
-      and only the finish limit applies (this is what makes long runs of
-      Case-1/Case-2 alternation collapsible, cf. the running-time argument
-      of Theorem 3.3).
-    """
-    partial_jobs = [
-        j
-        for j, share in assignment.shares.items()
-        if 0 < share < state.instance.requirement(j)
-    ]
-    sole_stable_partial = (
-        partial_jobs[0]
-        if len(partial_jobs) == 1 and partial_jobs[0] == window_max
-        else None
-    )
-    horizon: Optional[int] = None
-    for job_id, share in assignment.shares.items():
-        if share <= 0:
-            continue
-        rem = state.remaining[job_id]
-        k = int(rem // share)  # floor: steps before the capped finish step
-        if k < 1:
-            k = 1  # current step is exact by construction
-        limit = k
-        req = state.instance.requirement(job_id)
-        if share < req and job_id != sole_stable_partial:
-            i = _steps_until_status_change(rem, share, req)
-            if i is not None:
-                limit = min(limit, i)
-        if horizon is None or limit < horizon:
-            horizon = limit
-    return max(horizon if horizon is not None else 1, 1)
+# re-exported for the bulk-horizon tests (historical location)
+_steps_until_status_change = _steps_until_status_change
 
 
 class SlidingWindowScheduler:
     """Listing 1 — the ``2 + 1/(m-2)``-approximation for SRJ.
+
+    Runs the engine on the exact-rational backend; use
+    :func:`repro.perf.solve_srj` (or :func:`repro.engine.api.solve_srj`)
+    to select the scaled-integer backend instead.
 
     Parameters
     ----------
@@ -215,9 +89,6 @@ class SlidingWindowScheduler:
         window_size: Optional[int] = None,
         enable_move: bool = True,
     ) -> None:
-        if instance.m < 2:
-            # m = 1 handled by the trivial serial scheduler below
-            pass
         self.instance = instance
         self.accelerate = accelerate
         self.window_size = (
@@ -226,150 +97,26 @@ class SlidingWindowScheduler:
         self.enable_move = enable_move
         self.budget = Fraction(1)
 
-    # ------------------------------------------------------------------
-
     def run(self) -> SRJResult:
         """Execute the algorithm and return the result."""
-        if self.instance.m == 1:
-            return _run_serial(self.instance)
-        state = SchedulerState(self.instance)
-        result = SRJResult(
-            instance=self.instance, makespan=0, completion_times={}
+        return _engine.solve_srj(
+            self.instance,
+            backend="fraction",
+            accelerate=self.accelerate,
+            window_size=self.window_size,
+            enable_move=self.enable_move,
         )
-        window: List[int] = []
-        guard = 0
-        # upper bound on iterations: each job finishes at least every
-        # ceil(s_j / smallest positive share) steps; use a generous cap to
-        # catch non-termination bugs instead of hanging.
-        max_iters = self._iteration_cap()
-        while state.n_unfinished() > 0:
-            guard += 1
-            if guard > max_iters:
-                raise RuntimeError(
-                    "scheduler exceeded iteration cap — non-termination bug"
-                )
-            window = self._next_window(state, window)
-            if not window:
-                raise RuntimeError(
-                    "empty window with unfinished jobs — window bug"
-                )
-            assignment = compute_assignment(
-                state,
-                window,
-                self.budget,
-                allow_extra_start=self.enable_move,
-                strict=self.enable_move,
-            )
-            if not assignment.shares:
-                raise RuntimeError("no resource assigned — assignment bug")
-            count = 1
-            if self.accelerate:
-                count = _bulk_horizon(state, assignment, window[-1])
-            procs = {
-                j: state.processor_for(j) for j in assignment.shares
-            }
-            full_window = sorted(
-                set(window)
-                | ({assignment.extra_started} if assignment.extra_started is not None else set())
-            )
-            if count == 1:
-                finished = state.apply_step(assignment.shares)
-            else:
-                finished = state.apply_bulk(assignment.shares, count)
-            result.trace.append(
-                TraceRun(
-                    shares=dict(assignment.shares),
-                    processors=procs,
-                    count=count,
-                    case=assignment.case,
-                    window=list(window),
-                )
-            )
-            result.makespan += count
-            for j in finished:
-                result.completion_times[j] = result.makespan
-            # statistics for the Theorem 3.3 accounting
-            n_full = len(assignment.fully_served)
-            if n_full >= self.instance.m - 2:
-                result.steps_full_jobs += count
-            if assignment.total() >= self.budget:
-                result.steps_full_resource += count
-            result.total_waste += count * assignment.waste
-            window = full_window
-        return result
-
-    # ------------------------------------------------------------------
-
-    def _next_window(
-        self, state: SchedulerState, previous: List[int]
-    ) -> List[int]:
-        from .window import (
-            grow_window_left,
-            grow_window_right,
-            move_window_right,
-        )
-
-        universe = state.unfinished()
-        alive = set(universe)
-        window = [j for j in previous if j in alive]
-        window = grow_window_left(
-            state, universe, window, self.window_size, self.budget
-        )
-        window = grow_window_right(
-            state, universe, window, self.window_size, self.budget
-        )
-        if self.enable_move:
-            window = move_window_right(state, universe, window, self.budget)
-        return window
-
-    def _iteration_cap(self) -> int:
-        # every trace run finishes a job or is bounded by fracture-status
-        # changes; a safe generous cap:
-        total_steps = sum(job.size for job in self.instance.jobs)
-        if self.accelerate:
-            return 16 * (self.instance.n + 4) * (self.instance.n + 4)
-        return 4 * total_steps * max(2, self.instance.n) + 64
-
-
-def _run_serial(instance: Instance) -> SRJResult:
-    """Trivial optimal scheduler for m = 1: run jobs one at a time, each
-    receiving ``min(r_j, 1)`` per step."""
-    result = SRJResult(instance=instance, makespan=0, completion_times={})
-    t = 0
-    for job in instance.jobs:
-        share = min(job.requirement, Fraction(1))
-        steps = ceil_div(job.total_requirement, share)
-        full_steps = steps - 1
-        rem_last = job.total_requirement - full_steps * share
-        if full_steps > 0:
-            result.trace.append(
-                TraceRun(
-                    shares={job.id: share},
-                    processors={job.id: 0},
-                    count=full_steps,
-                    case="serial",
-                    window=[job.id],
-                )
-            )
-        result.trace.append(
-            TraceRun(
-                shares={job.id: rem_last},
-                processors={job.id: 0},
-                count=1,
-                case="serial",
-                window=[job.id],
-            )
-        )
-        t += steps
-        result.completion_times[job.id] = t
-        result.steps_full_jobs += steps
-    result.makespan = t
-    return result
 
 
 def schedule_srj(
     instance: Instance,
     accelerate: bool = True,
+    backend: str = "fraction",
 ) -> SRJResult:
-    """Convenience wrapper: run Listing 1 on *instance*."""
-    return SlidingWindowScheduler(instance, accelerate=accelerate).run()
+    """Convenience wrapper: run Listing 1 on *instance*.
+
+    Defaults to the exact-rational backend (this is the reference path the
+    property tests compare everything against); pass ``backend="int"`` or
+    ``"auto"`` for the scaled-integer fast path.
+    """
+    return _engine.solve_srj(instance, backend=backend, accelerate=accelerate)

@@ -14,180 +14,29 @@ paper:
 The state also tracks processor assignments so that the produced schedule is
 explicitly non-preemptive and migration-free: a job gets a processor the
 first time it receives resource and keeps it until finished.
+
+Since the engine refactor the actual bookkeeping lives in the
+backend-generic :class:`repro.engine.state.EngineState`;
+:class:`SchedulerState` is its exact-rational specialization over an
+:class:`~repro.core.instance.Instance` and keeps the historical API
+(``unfinished``, ``apply_step``, ``apply_bulk``, ``processor_for``, …).
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Dict, List, Optional, Set
-
-from ..numeric import fractional_remainder, is_multiple_of
+from ..engine.backends.fraction import FractionContext
+from ..engine.state import EngineState
 from .instance import Instance
 
 
-class SchedulerState:
+class SchedulerState(EngineState):
     """Tracks remaining work, fractured status and processor ownership."""
 
     def __init__(self, instance: Instance) -> None:
+        super().__init__(
+            instance.m,
+            FractionContext(),
+            {job.id: job.requirement for job in instance.jobs},
+            {job.id: job.total_requirement for job in instance.jobs},
+        )
         self.instance = instance
-        #: remaining total requirement s_j(t) per job id
-        self.remaining: Dict[int, Fraction] = {
-            job.id: job.total_requirement for job in instance.jobs
-        }
-        #: job ids not yet finished, in canonical (non-decreasing r) order
-        self._unfinished: List[int] = [job.id for job in instance.jobs]
-        #: job id -> processor, assigned at first processing step
-        self.processor_of: Dict[int, int] = {}
-        #: processors currently owned by a *running* (started, unfinished) job
-        self._busy_processors: Set[int] = set()
-        #: current time step (number of completed steps)
-        self.t: int = 0
-
-    # ------------------------------------------------------------------
-    # Queries
-    # ------------------------------------------------------------------
-
-    def unfinished(self) -> List[int]:
-        """``J(t)`` — ids of unfinished jobs, ascending (canonical order)."""
-        return list(self._unfinished)
-
-    def n_unfinished(self) -> int:
-        return len(self._unfinished)
-
-    def is_finished(self, job_id: int) -> bool:
-        return self.remaining[job_id] <= 0
-
-    def is_started(self, job_id: int) -> bool:
-        """Started := has received resource but is not finished."""
-        job = self.instance.jobs[job_id]
-        return (
-            self.remaining[job_id] < job.total_requirement
-            and self.remaining[job_id] > 0
-        )
-
-    def is_fractured(self, job_id: int) -> bool:
-        """``s_j(t)`` is not an integer multiple of ``r_j`` (and > 0)."""
-        rem = self.remaining[job_id]
-        if rem <= 0:
-            return False
-        return not is_multiple_of(rem, self.instance.requirement(job_id))
-
-    def fractured_remainder(self, job_id: int) -> Fraction:
-        """``q_j(t)``: the fractional part of ``s_j(t)`` modulo ``r_j``."""
-        return fractional_remainder(
-            self.remaining[job_id], self.instance.requirement(job_id)
-        )
-
-    def started_jobs(self) -> List[int]:
-        """All started (and unfinished) jobs."""
-        return [j for j in self._unfinished if self.is_started(j)]
-
-    def fractured_jobs(self) -> List[int]:
-        """All fractured (unfinished) jobs."""
-        return [j for j in self._unfinished if self.is_fractured(j)]
-
-    def free_processors(self) -> List[int]:
-        """Processors not owned by a running job, ascending."""
-        return [
-            p for p in range(self.instance.m) if p not in self._busy_processors
-        ]
-
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
-
-    def processor_for(self, job_id: int) -> int:
-        """Processor owning *job_id*, assigning a free one on first use.
-
-        Raises :class:`RuntimeError` if all processors are busy — that would
-        mean the caller scheduled more than ``m`` concurrent jobs.
-        """
-        if job_id in self.processor_of and not self.is_finished(job_id):
-            return self.processor_of[job_id]
-        free = self.free_processors()
-        if not free:
-            raise RuntimeError(
-                f"no free processor for job {job_id}: more than m={self.instance.m}"
-                " concurrent jobs scheduled"
-            )
-        proc = free[0]
-        self.processor_of[job_id] = proc
-        self._busy_processors.add(proc)
-        return proc
-
-    def apply_step(self, shares: Dict[int, Fraction]) -> List[int]:
-        """Apply one time step of resource *shares* (job id -> share).
-
-        Shares are assumed already capped at ``min(r_j, s_j(t-1))`` by the
-        assignment layer.  Returns the list of jobs finished in this step and
-        releases their processors.  Advances ``t`` by one.
-        """
-        finished: List[int] = []
-        for job_id, share in shares.items():
-            if share < 0:
-                raise ValueError(f"negative share for job {job_id}")
-            if share == 0:
-                continue
-            self.remaining[job_id] -= share
-            if self.remaining[job_id] <= 0:
-                self.remaining[job_id] = Fraction(0)
-                finished.append(job_id)
-        if finished:
-            finished_set = set(finished)
-            self._unfinished = [
-                j for j in self._unfinished if j not in finished_set
-            ]
-            for j in finished:
-                proc = self.processor_of.get(j)
-                if proc is not None:
-                    self._busy_processors.discard(proc)
-        self.t += 1
-        return finished
-
-    def apply_bulk(self, shares: Dict[int, Fraction], k: int) -> List[int]:
-        """Apply *k* identical steps at once (the fast-path of Theorem 3.3).
-
-        The caller guarantees that the share vector would be recomputed
-        identically for each of the ``k`` steps (no job finishes before the
-        last step, no fracture-status change alters the assignment).  Jobs
-        finishing exactly at the ``k``-th step are returned.
-        """
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        finished: List[int] = []
-        for job_id, share in shares.items():
-            if share == 0:
-                continue
-            self.remaining[job_id] -= k * share
-            if self.remaining[job_id] <= 0:
-                self.remaining[job_id] = Fraction(0)
-                finished.append(job_id)
-        if finished:
-            finished_set = set(finished)
-            self._unfinished = [
-                j for j in self._unfinished if j not in finished_set
-            ]
-            for j in finished:
-                proc = self.processor_of.get(j)
-                if proc is not None:
-                    self._busy_processors.discard(proc)
-        self.t += k
-        return finished
-
-    # ------------------------------------------------------------------
-    # Window-relative job sets (Section 3 notation)
-    # ------------------------------------------------------------------
-
-    def left_of(self, window: Optional[List[int]]) -> List[int]:
-        """``L_t(U)``: unfinished jobs with id < min(U); all if U empty."""
-        if not window:
-            return []
-        lo = min(window)
-        return [j for j in self._unfinished if j < lo]
-
-    def right_of(self, window: Optional[List[int]]) -> List[int]:
-        """``R_t(U)``: unfinished jobs with id > max(U); all if U empty."""
-        if not window:
-            return list(self._unfinished)
-        hi = max(window)
-        return [j for j in self._unfinished if j > hi]

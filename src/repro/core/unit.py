@@ -12,39 +12,30 @@ This yields ``|S| ≤ (1 + 1/(m-1))·OPT + O(1)`` asymptotically and, via the
 equivalence of unit-size SRJ with *bin packing with splittable items and
 cardinality constraint k = m* (Corollary 3.9), an ``1 + 1/(k-1)``
 approximation for that packing problem (each time step = one bin).
+
+The step loop lives in :mod:`repro.engine`
+(:class:`~repro.engine.policies.UnitWindowPolicy`); this module validates
+the unit-size precondition and selects the numeric backend.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
 
-from ..numeric import ceil_div, frac_sum
+from ..engine import api as _engine
+from ..engine.trace import SRJResult
 from .instance import Instance
-from .scheduler import SRJResult, TraceRun
-
-
-@dataclass
-class _Virtual:
-    """A remaining job viewed through its *current* requirement value."""
-
-    value: Fraction
-    job_id: int
-    started: bool = False
-
-    def key(self) -> Tuple[Fraction, int]:
-        return (self.value, self.job_id)
 
 
 class UnitSizeScheduler:
     """The m-maximal-window algorithm for unit-size jobs.
 
     Raises :class:`ValueError` if the instance has a job with ``p_j ≠ 1``.
+    Runs on the exact-rational backend by default; pass ``backend="int"``
+    or ``"auto"`` for the scaled-integer fast path (bit-identical results).
     """
 
-    def __init__(self, instance: Instance) -> None:
+    def __init__(self, instance: Instance, backend: str = "fraction") -> None:
         if not instance.is_unit_size:
             raise ValueError(
                 "UnitSizeScheduler requires unit-size jobs; use "
@@ -52,120 +43,15 @@ class UnitSizeScheduler:
             )
         self.instance = instance
         self.budget = Fraction(1)
+        self.backend = backend
 
     def run(self) -> SRJResult:
-        inst = self.instance
-        m = inst.m
-        result = SRJResult(instance=inst, makespan=0, completion_times={})
-        # virtual ordering: (current value, id); initially value = r_j
-        order: List[_Virtual] = [
-            _Virtual(value=j.requirement, job_id=j.id) for j in inst.jobs
-        ]
-        order.sort(key=_Virtual.key)
-        iota_proc: Optional[int] = None  # processor pinned to the started job
-        iota_idx: Optional[int] = None  # index of the started job in `order`
-        t = 0
-        while order:
-            window, start_idx = self._window(order, m, iota_idx)
-            # assignment: all but the last window job get their full value
-            shares: Dict[int, Fraction] = {}
-            used = Fraction(0)
-            for v in window[:-1]:
-                shares[v.job_id] = v.value
-                used += v.value
-            last = window[-1]
-            last_share = min(self.budget - used, last.value)
-            if last_share <= 0:
-                raise RuntimeError("window assignment bug: max W gets nothing")
-            shares[last.job_id] = last_share
-            # bulk: a lone oversized job absorbing the full budget each step
-            count = 1
-            if len(window) == 1 and last_share == self.budget:
-                count = max(int(last.value // self.budget), 1)
-                shares[last.job_id] = self.budget
-            # processor assignment: ι keeps its processor (no migration)
-            procs: Dict[int, int] = {}
-            free = [p for p in range(m) if p != iota_proc]
-            for v in window:
-                if v.started and iota_proc is not None:
-                    procs[v.job_id] = iota_proc
-                else:
-                    procs[v.job_id] = free.pop(0)
-            result.trace.append(
-                TraceRun(
-                    shares=dict(shares),
-                    processors=procs,
-                    count=count,
-                    case="unit",
-                    window=[v.job_id for v in window],
-                )
-            )
-            t += count
-            # apply: every job except possibly the last finishes
-            for v in window[:-1]:
-                result.completion_times[v.job_id] = t
-            rem = last.value - count * shares[last.job_id]
-            new_order = order[:start_idx] + order[start_idx + len(window):]
-            if rem <= 0:
-                result.completion_times[last.job_id] = t
-                iota_proc = None
-                iota_idx = None
-            else:
-                iota_proc = procs[last.job_id]
-                iota = _Virtual(value=rem, job_id=last.job_id, started=True)
-                iota_idx = bisect_left(
-                    new_order, iota.key(), key=_Virtual.key
-                )
-                new_order.insert(iota_idx, iota)
-            order = new_order
-            n_full = len(window) - (1 if rem > 0 else 0)
-            if n_full >= m - 1:
-                result.steps_full_jobs += count
-            if frac_sum(shares.values()) >= self.budget:
-                result.steps_full_resource += count
-        result.makespan = t
-        return result
-
-    # ------------------------------------------------------------------
-
-    def _window(
-        self, order: List[_Virtual], m: int, iota_idx: Optional[int]
-    ) -> Tuple[List[_Virtual], int]:
-        """Compute the m-maximal window over the virtual ordering.
-
-        Exactly Lines 2–5 of Listing 1: the carried-over window is ``{ι}``
-        (everything else finished last step) or ∅; grow left, grow right,
-        then move right.  Returns the window (a contiguous slice of
-        *order*) and its start index.  The started job, if any, is never
-        dropped (property (d) — MoveWindowRight stops at a started min W).
-        """
-        budget = self.budget
-        if iota_idx is not None:
-            lo, hi = iota_idx, iota_idx + 1
-            r_w = order[iota_idx].value
-        else:
-            lo = hi = 0
-            r_w = Fraction(0)
-        # grow left
-        while hi - lo < m and lo > 0 and r_w < budget:
-            lo -= 1
-            r_w += order[lo].value
-        # grow right
-        while r_w < budget and hi < len(order) and hi - lo < m:
-            r_w += order[hi].value
-            hi += 1
-        # move right while resource-deficient and the leftmost is unstarted
-        while r_w < budget and hi < len(order) and not order[lo].started:
-            r_w -= order[lo].value
-            lo += 1
-            r_w += order[hi].value
-            hi += 1
-        return order[lo:hi], lo
+        return _engine.run_unit(self.instance, backend=self.backend)
 
 
-def schedule_unit(instance: Instance) -> SRJResult:
+def schedule_unit(instance: Instance, backend: str = "fraction") -> SRJResult:
     """Convenience wrapper: run the unit-size algorithm on *instance*."""
-    return UnitSizeScheduler(instance).run()
+    return UnitSizeScheduler(instance, backend=backend).run()
 
 
 def unit_guarantee(m: int, opt: int) -> int:

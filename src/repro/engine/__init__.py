@@ -1,0 +1,55 @@
+"""One backend-pluggable scheduling engine for every scheduler layer.
+
+Structure (see DESIGN.md §4 and docs/PERFORMANCE.md):
+
+* :mod:`repro.engine.backends` — the numeric-backend protocol
+  (:class:`~repro.engine.backends.base.NumericContext`) with the exact
+  rational and LCM-rescaled integer implementations;
+* :mod:`repro.engine.state` — the shared :class:`EngineState`
+  bookkeeping (remaining work, processors, trace, statistics);
+* :mod:`repro.engine.loop` — the single step loop driving pluggable
+  policies (:class:`StepDecision`);
+* :mod:`repro.engine.policies` — per-layer policies (general SRJ
+  window, unit-size window, sequential SRT, online, fixed-assignment);
+* :mod:`repro.engine.trace` — the canonical RLE trace representation
+  (:class:`TraceRun` / :class:`SRJResult`);
+* :mod:`repro.engine.api` — entry points that wire context + state +
+  policy together and emit exact-valued results.
+
+``state``/``loop``/``policies`` are generic over the numeric backend and
+must stay free of exact-rational arithmetic (``make lint-hotpath``).
+"""
+
+from .api import (
+    run_assigned,
+    run_online,
+    run_online_list,
+    run_sequential_tasks,
+    run_serial,
+    run_unit,
+    solve_srj,
+    unit_makespan,
+)
+from .backends import BACKENDS, make_context, resolve_backend
+from .loop import StepDecision, run_loop
+from .state import EngineState
+from .trace import SRJResult, TraceRun
+
+__all__ = [
+    "BACKENDS",
+    "EngineState",
+    "SRJResult",
+    "StepDecision",
+    "TraceRun",
+    "make_context",
+    "resolve_backend",
+    "run_assigned",
+    "run_loop",
+    "run_online",
+    "run_online_list",
+    "run_sequential_tasks",
+    "run_serial",
+    "run_unit",
+    "solve_srj",
+    "unit_makespan",
+]

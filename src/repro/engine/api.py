@@ -1,0 +1,414 @@
+"""Engine entry points: build a backend context + policy + state, run the
+loop, emit results in the exact (rational) domain.
+
+This is the one place where scaled working-domain quantities are converted
+back to exact values; the front-end modules (``repro.core``,
+``repro.tasks``, ``repro.online``, ``repro.assigned``) delegate here and
+only adapt their own model types.  To avoid import cycles this module
+never imports those front-ends — instance/task objects are consumed
+duck-typed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..numeric import ceil_div
+from .backends import make_context, resolve_backend
+from .loop import run_loop
+from .policies import (
+    AssignedQueuePolicy,
+    OnlineListPolicy,
+    OnlineWindowPolicy,
+    SequentialTaskPolicy,
+    SlidingWindowPolicy,
+    UnitWindowPolicy,
+)
+from .state import EngineState
+from .trace import SRJResult, TraceRun
+
+__all__ = [
+    "solve_srj",
+    "run_serial",
+    "run_unit",
+    "unit_makespan",
+    "run_sequential_tasks",
+    "run_online",
+    "run_online_list",
+    "run_assigned",
+]
+
+
+# ---------------------------------------------------------------------------
+# Result emission
+# ---------------------------------------------------------------------------
+
+
+def _build_srj_result(instance, state: EngineState) -> SRJResult:
+    """Convert a finished engine state into an :class:`SRJResult`,
+    rescaling all working-domain quantities back to exact values."""
+    conv = state.ctx.to_fraction
+    result = SRJResult(
+        instance=instance,
+        makespan=state.t,
+        completion_times=dict(state.completion_times),
+        steps_full_jobs=state.steps_full_jobs,
+        steps_full_resource=state.steps_full_resource,
+        total_waste=Fraction(conv(state.waste_units)),
+    )
+    result.trace = [
+        TraceRun(
+            shares={j: conv(c) for j, c in shares.items()},
+            processors=procs,
+            count=count,
+            case=case,
+            window=win,
+        )
+        for shares, procs, count, case, win in state.trace
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# General SRJ — Listing 1
+# ---------------------------------------------------------------------------
+
+
+def solve_srj(
+    instance,
+    backend: str = "auto",
+    accelerate: bool = True,
+    window_size: Optional[int] = None,
+    enable_move: bool = True,
+) -> SRJResult:
+    """Run Listing 1 on *instance* with a selectable numeric backend.
+
+    ``backend="fraction"`` runs the engine on exact rationals (the
+    reference domain); ``backend="int"`` on LCM-rescaled integers
+    (bit-for-bit identical results, typically an order of magnitude
+    faster); ``backend="auto"`` picks the integer backend.
+    """
+    resolve_backend(backend)  # validate before any work
+    if instance.m == 1:
+        return run_serial(instance)
+    ctx = make_context(
+        backend, Fraction(1), (job.requirement for job in instance.jobs)
+    )
+    req = {job.id: ctx.scale(job.requirement) for job in instance.jobs}
+    totals = {job.id: job.size * req[job.id] for job in instance.jobs}
+    state = EngineState(
+        instance.m, ctx, req, totals, record_trace=True
+    )
+    policy = SlidingWindowPolicy(
+        budget=ctx.scale(Fraction(1)),
+        size=(
+            window_size
+            if window_size is not None
+            else max(instance.m - 1, 1)
+        ),
+        enable_move=enable_move,
+        accelerate=accelerate,
+    )
+    # upper bound on iterations: each trace run finishes a job or is
+    # bounded by fracture-status changes; a generous cap catches
+    # non-termination bugs instead of hanging.
+    if accelerate:
+        max_iters = 16 * (instance.n + 4) * (instance.n + 4)
+    else:
+        total_steps = sum(job.size for job in instance.jobs)
+        max_iters = 4 * total_steps * max(2, instance.n) + 64
+    run_loop(
+        state,
+        policy,
+        max_iters,
+        lambda: RuntimeError(
+            "scheduler exceeded iteration cap — non-termination bug"
+        ),
+    )
+    return _build_srj_result(instance, state)
+
+
+def run_serial(instance) -> SRJResult:
+    """Trivial optimal scheduler for m = 1: run jobs one at a time, each
+    receiving ``min(r_j, 1)`` per step."""
+    result = SRJResult(instance=instance, makespan=0, completion_times={})
+    t = 0
+    for job in instance.jobs:
+        share = min(job.requirement, Fraction(1))
+        steps = ceil_div(job.total_requirement, share)
+        full_steps = steps - 1
+        rem_last = job.total_requirement - full_steps * share
+        if full_steps > 0:
+            result.trace.append(
+                TraceRun(
+                    shares={job.id: share},
+                    processors={job.id: 0},
+                    count=full_steps,
+                    case="serial",
+                    window=[job.id],
+                )
+            )
+        result.trace.append(
+            TraceRun(
+                shares={job.id: rem_last},
+                processors={job.id: 0},
+                count=1,
+                case="serial",
+                window=[job.id],
+            )
+        )
+        t += steps
+        result.completion_times[job.id] = t
+        result.steps_full_jobs += steps
+    result.makespan = t
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Unit-size variant
+# ---------------------------------------------------------------------------
+
+
+def run_unit(instance, backend: str = "auto") -> SRJResult:
+    """Run the unit-size m-maximal-window algorithm on *instance* (all
+    ``p_j = 1``; the front-end validates)."""
+    resolve_backend(backend)
+    ctx = make_context(
+        backend, Fraction(1), (job.requirement for job in instance.jobs)
+    )
+    req = {job.id: ctx.scale(job.requirement) for job in instance.jobs}
+    state = EngineState(instance.m, ctx, req, req, record_trace=True)
+    order = sorted((value, job_id) for job_id, value in req.items())
+    policy = UnitWindowPolicy(budget=ctx.scale(Fraction(1)), order=order)
+    # every job needs at most a bulk run plus two finishing decisions
+    run_loop(
+        state,
+        policy,
+        8 * instance.n + 32,
+        lambda: RuntimeError(
+            "unit scheduler exceeded iteration cap — non-termination bug"
+        ),
+    )
+    return _build_srj_result(instance, state)
+
+
+def unit_makespan(
+    requirements: Sequence[Fraction],
+    m: int,
+    budget: Fraction,
+    backend: str = "auto",
+) -> int:
+    """Makespan of the unit-size algorithm over bare *requirements* (the
+    Corollary-3.9 bin-packing view: each time step = one bin).
+
+    Jobs are re-indexed by their rank in the sorted ``(value, input
+    position)`` order, matching the canonical-id tie-breaking of
+    :func:`run_unit`; inputs are already-validated positive rationals.
+    """
+    ctx = make_context(backend, budget, requirements)
+    ranked = sorted(
+        (ctx.scale(r), i) for i, r in enumerate(requirements)
+    )
+    req = {rank: value for rank, (value, _i) in enumerate(ranked)}
+    state = EngineState(m, ctx, req, req)
+    policy = UnitWindowPolicy(
+        budget=ctx.scale(budget),
+        order=[(value, rank) for rank, value in req.items()],
+    )
+    run_loop(
+        state,
+        policy,
+        8 * len(req) + 32,
+        lambda: RuntimeError(
+            "unit scheduler exceeded iteration cap — non-termination bug"
+        ),
+    )
+    return state.t
+
+
+# ---------------------------------------------------------------------------
+# Sequential SRT engine — Listings 3 and 4
+# ---------------------------------------------------------------------------
+
+
+def run_sequential_tasks(
+    tasks,
+    m: int,
+    budget: Fraction,
+    record_steps: bool = True,
+    backend: str = "auto",
+) -> Tuple[Dict, int, Optional[List]]:
+    """Run the Listing-3/4 sequential engine over *tasks* in order.
+
+    Returns ``(task_completion_times, makespan, steps)`` where *steps* is
+    ``None`` when ``record_steps`` is off and otherwise a list of
+    ``(shares, tasks_packed)`` pairs per step with exact-valued shares
+    keyed by ``(task_id, job_index)``.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    resolve_backend(backend)
+    all_reqs = [r for task in tasks for r in task.requirements]
+    ctx = make_context(backend, budget, all_reqs)
+    req = {
+        (task.id, i): ctx.scale(r)
+        for task in tasks
+        for i, r in enumerate(task.requirements)
+    }
+    state = EngineState(m, ctx, req, req, record_trace=record_steps)
+    orders = [
+        sorted(
+            (req[(task.id, i)], i)
+            for i in range(len(task.requirements))
+        )
+        for task in tasks
+    ]
+    policy = SequentialTaskPolicy(
+        budget=ctx.scale(budget),
+        m=m,
+        task_ids=[task.id for task in tasks],
+        orders=orders,
+    )
+    guard_limit = 4 * len(req) + 16
+    # a job can take many steps if its requirement exceeds the budget;
+    # ⌊v/B⌋ on scaled values equals ⌊r/budget⌋ exactly, in both domains
+    scaled_budget = policy.budget
+    guard_limit += 4 * sum(
+        max(v // scaled_budget, 1) for v in req.values()
+    )
+    run_loop(
+        state,
+        policy,
+        guard_limit,
+        lambda: RuntimeError("sequential engine exceeded iteration cap"),
+    )
+    steps: Optional[List] = None
+    if record_steps:
+        conv = ctx.to_fraction
+        steps = [
+            (
+                {key: Fraction(conv(v)) for key, v in shares.items()},
+                packed,
+            )
+            for shares, _procs, _count, _case, packed in state.trace
+        ]
+    return dict(policy.completion), state.t, steps
+
+
+# ---------------------------------------------------------------------------
+# Online layer
+# ---------------------------------------------------------------------------
+
+
+def _online_state(
+    offline, backend: str, record_utilization: bool = True
+) -> EngineState:
+    ctx = make_context(
+        backend, Fraction(1), (job.requirement for job in offline.jobs)
+    )
+    req = {job.id: ctx.scale(job.requirement) for job in offline.jobs}
+    totals = {job.id: job.size * req[job.id] for job in offline.jobs}
+    return EngineState(
+        offline.m, ctx, req, totals, record_utilization=record_utilization
+    )
+
+
+def run_online(
+    offline,
+    release_of: Dict[int, int],
+    max_steps: int = 1_000_000,
+    backend: str = "auto",
+) -> Tuple[int, Dict[int, int], List[Fraction]]:
+    """Arrival-aware window algorithm over the canonical *offline*
+    instance; ``release_of`` maps canonical job ids to release steps.
+
+    Returns ``(makespan, completion_times, utilization)`` with canonical
+    job ids (the front-end maps them back to online ids).
+    """
+    resolve_backend(backend)
+    state = _online_state(offline, backend)
+    policy = OnlineWindowPolicy(
+        budget=state.ctx.scale(Fraction(1)),
+        size=max(offline.m - 1, 1),
+        release_of=release_of,
+    )
+    run_loop(
+        state,
+        policy,
+        max_steps,
+        lambda: RuntimeError("online scheduler exceeded max_steps"),
+    )
+    conv = state.ctx.to_fraction
+    utilization = [Fraction(conv(u)) for u in state.utilization]
+    return state.t, dict(state.completion_times), utilization
+
+
+def run_online_list(
+    offline,
+    release_of: Dict[int, int],
+    max_steps: int = 1_000_000,
+    backend: str = "auto",
+) -> Tuple[int, Dict[int, int], List[Fraction]]:
+    """Online list-scheduling baseline over the canonical *offline*
+    instance (see :func:`run_online` for the return value)."""
+    resolve_backend(backend)
+    state = _online_state(offline, backend)
+    policy = OnlineListPolicy(
+        budget=state.ctx.scale(Fraction(1)),
+        m=offline.m,
+        release_of=release_of,
+    )
+    run_loop(
+        state,
+        policy,
+        max_steps,
+        lambda: RuntimeError("online list scheduler exceeded max_steps"),
+    )
+    conv = state.ctx.to_fraction
+    utilization = [Fraction(conv(u)) for u in state.utilization]
+    return state.t, dict(state.completion_times), utilization
+
+
+# ---------------------------------------------------------------------------
+# Fixed-assignment layer
+# ---------------------------------------------------------------------------
+
+
+def run_assigned(
+    instance,
+    policy: str,
+    budget: Fraction,
+    max_steps: int = 10_000_000,
+    backend: str = "auto",
+) -> Tuple[int, Dict, List[Fraction]]:
+    """Run a head-of-queue distribution policy on an assigned instance.
+
+    The ``proportional`` policy needs exact division (not closed over the
+    scaled-integer lattice), so ``"auto"``/``"int"`` silently resolve to
+    the exact context for it.
+    """
+    kind = resolve_backend(backend)
+    if policy == "proportional":
+        kind = "fraction"
+    ctx = make_context(kind, budget, (j.requirement for j in instance.jobs()))
+    req = {j.key: ctx.scale(j.requirement) for j in instance.jobs()}
+    totals = {j.key: j.size * req[j.key] for j in instance.jobs()}
+    state = EngineState(
+        instance.m, ctx, req, totals, record_utilization=True
+    )
+    queues = [[job.key for job in queue] for queue in instance.queues]
+    engine_policy = AssignedQueuePolicy(
+        budget=ctx.scale(budget), queues=queues, policy=policy
+    )
+    run_loop(
+        state,
+        engine_policy,
+        max_steps,
+        lambda: RuntimeError("assigned scheduler exceeded max_steps"),
+    )
+    conv = ctx.to_fraction
+    utilization = [Fraction(conv(u)) for u in state.utilization]
+    return state.t, dict(state.completion_times), utilization

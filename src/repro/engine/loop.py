@@ -1,0 +1,69 @@
+"""The engine step loop: repeatedly ask a policy for a decision, apply it.
+
+This is the single driver behind every scheduler layer in the repo
+(core SRJ sliding window, unit-size variant, sequential SRT engine,
+online arrival model, fixed-assignment queues, and the vetting
+simulator).  A *policy* is any object with a ``decide(state)`` method
+returning a :class:`StepDecision`; the loop itself is representation
+agnostic and contains no arithmetic beyond the iteration guard (see
+``make lint-hotpath``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class StepDecision:
+    """One policy decision: a share vector applied for *count* steps.
+
+    ``waste`` and ``used`` live in the working domain of the engine state's
+    numeric context; ``waste`` defaults to the neutral 0, which is exact in
+    every backend.  ``window`` is the trace's window annotation (job keys
+    for window schedulers, task ids for the SRT engine).  Policies that
+    manage processors themselves set ``assign_processors=False``.
+    """
+
+    shares: Dict
+    count: int = 1
+    case: str = ""
+    window: List = field(default_factory=list)
+    waste: object = 0
+    full_jobs_step: bool = False
+    full_resource_step: bool = False
+    used: object = None
+    assign_processors: bool = True
+
+
+class Policy:
+    """Protocol-by-convention: anything with ``decide(state)``."""
+
+    def decide(self, state) -> StepDecision:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def run_loop(
+    state,
+    policy,
+    max_iters: int,
+    cap_error: Callable[[], Exception],
+    on_finish: Optional[Callable] = None,
+) -> None:
+    """Drive *policy* over *state* until no unfinished job remains.
+
+    Raises the exception built by ``cap_error()`` after *max_iters*
+    decisions — a generous guard that catches non-termination bugs instead
+    of hanging.  ``on_finish(finished_keys)`` is invoked after every
+    decision that completed at least one job (used by front-ends that react
+    to completions, e.g. arrival admission).
+    """
+    guard = 0
+    while state._unfinished:
+        guard += 1
+        if guard > max_iters:
+            raise cap_error()
+        finished = state.apply_decision(policy.decide(state))
+        if finished and on_finish is not None:
+            on_finish(finished)

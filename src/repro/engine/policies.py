@@ -1,0 +1,892 @@
+"""Engine policies: per-step decisions for every scheduler layer.
+
+Each policy is a faithful transliteration of the corresponding reference
+scheduler's step body onto :class:`~repro.engine.state.EngineState`,
+written generically over the numeric backend (see
+``repro.engine.backends.base`` for the closed-operation contract; this
+module is covered by ``make lint-hotpath``).  The policies:
+
+* :class:`SlidingWindowPolicy` — Listing 1 (general SRJ), the hot loop
+  formerly in ``perf/intkernel.py`` / ``core/scheduler.py``;
+* :class:`UnitWindowPolicy` — the unit-size m-maximal-window variant
+  (``core/unit.py`` / ``perf/unitint.py``);
+* :class:`SequentialTaskPolicy` — the Listing-3/4 SRT engine
+  (``tasks/sequential.py``);
+* :class:`OnlineWindowPolicy` / :class:`OnlineListPolicy` — the
+  arrival-aware schedulers (``online/scheduler.py``);
+* :class:`AssignedQueuePolicy` — the fixed-assignment head-of-queue
+  distribution policies (``assigned/scheduler.py``).
+
+All share vectors, windows and error messages are kept bit-identical to
+the reference implementations; the cross-backend equivalence suites
+(``tests/test_perf_backends.py``, ``tests/test_engine_backends.py``)
+assert this.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, List, Optional, Sequence
+
+from .loop import StepDecision
+from .state import EngineState
+
+__all__ = [
+    "SlidingWindowPolicy",
+    "UnitWindowPolicy",
+    "SequentialTaskPolicy",
+    "OnlineWindowPolicy",
+    "OnlineListPolicy",
+    "AssignedQueuePolicy",
+    "compute_window",
+    "compute_assignment",
+]
+
+
+# ---------------------------------------------------------------------------
+# Listing 1 — the general SRJ sliding window (one flat hot loop)
+# ---------------------------------------------------------------------------
+
+
+class SlidingWindowPolicy:
+    """Listing 1: (m-1)-maximal window + Case-1/Case-2 assignment + bulk
+    horizon (Theorem 3.3).  Deliberately one flat ``decide`` over plain
+    dict/list lookups — after exact-arithmetic normalization is gone
+    (integer backend), Python-level call overhead is what remains."""
+
+    def __init__(
+        self,
+        budget,
+        size: int,
+        enable_move: bool = True,
+        accelerate: bool = True,
+    ) -> None:
+        self.budget = budget
+        self.size = size
+        self.enable_move = enable_move
+        # strict / allow_extra_start follow enable_move exactly as in the
+        # reference scheduler (compute_assignment was called with
+        # allow_extra_start=enable_move, strict=enable_move)
+        self.strict = enable_move
+        self.accelerate = accelerate
+        self.window: List = []
+
+    def decide(self, state: EngineState) -> StepDecision:  # noqa: C901
+        S = state.remaining
+        R = state.req
+        total = state.total
+        unfinished = state._unfinished
+        B = self.budget
+        size = self.size
+        strict = self.strict
+        enable_move = self.enable_move
+
+        # ---- window: Lines 2-5 of Listing 1 -----------------------------
+        # carry over the unfinished part of the previous window
+        window = [j for j in self.window if S[j] > 0]
+        # GrowWindowLeft with the DESIGN.md §2 repair: gate each add on
+        # r((W ∪ {j}) \ {max W}) < B so property (b) is preserved
+        if window:
+            lo = bisect_left(unfinished, window[0])
+            r_wo_max = 0
+            for j in window:
+                r_wo_max += R[j]
+            r_wo_max -= R[window[-1]]
+        else:
+            lo = 0
+            r_wo_max = 0
+        while len(window) < size and lo > 0:
+            new_job = unfinished[lo - 1]
+            if r_wo_max + R[new_job] >= B:
+                break
+            window.insert(0, new_job)
+            r_wo_max += R[new_job]
+            lo -= 1
+        # GrowWindowRight while r(W) < B  (left growth never touches
+        # max W, so r(W) = r_wo_max + R[max W])
+        if window:
+            r_w = r_wo_max + R[window[-1]]
+            hi = bisect_right(unfinished, window[-1])
+        else:
+            r_w = 0
+            hi = 0
+        len_u = len(unfinished)
+        while r_w < B and hi < len_u and len(window) < size:
+            new_job = unfinished[hi]
+            window.append(new_job)
+            r_w += R[new_job]
+            hi += 1
+        # MoveWindowRight while resource-deficient and min W unstarted
+        if enable_move and window:
+            while r_w < B and hi < len_u:
+                j0 = window[0]
+                if 0 < S[j0] < total[j0]:  # started jobs are never dropped
+                    break
+                window.pop(0)
+                r_w -= R[j0]
+                new_job = unfinished[hi]
+                window.append(new_job)
+                r_w += R[new_job]
+                hi += 1
+        if not window:
+            raise RuntimeError(
+                "empty window with unfinished jobs — window bug"
+            )
+
+        # ---- assignment: Listing 1 lines 6-20 ---------------------------
+        # F = set of fractured window jobs (|F| ≤ 1 when strict)
+        iota = None
+        for j in window:
+            if S[j] % R[j]:
+                if iota is not None:
+                    if strict:
+                        fractured = [jj for jj in window if S[jj] % R[jj]]
+                        raise RuntimeError(
+                            f"window invariant broken: {len(fractured)} "
+                            f"fractured jobs ({fractured}); the "
+                            "algorithm guarantees at most one"
+                        )
+                    break  # tolerant mode only needs the first ι
+                iota = j
+        max_w = window[-1]
+        r_w_minus_f = r_w - R[iota] if iota is not None else r_w
+        shares: Dict = {}
+        n_fully_served = 0
+        extra_started = None
+
+        if r_w_minus_f >= B:
+            # --------------------------- Case 1 --------------------------
+            case = "case1"
+            if iota == max_w:
+                if strict:
+                    raise RuntimeError(
+                        "Case 1 with fractured max W contradicts window "
+                        "property (b)"
+                    )
+                iota = None  # tolerant mode: demote ι
+            used = 0
+            for j in window:
+                if j == iota or j == max_w:
+                    continue
+                rj = R[j]
+                share = rj if rj < S[j] else S[j]
+                shares[j] = share
+                if share == rj:
+                    n_fully_served += 1
+                used += share
+            if iota is not None:
+                q = S[iota] % R[iota]  # q_ι(t-1) ∈ (0, r_ι), ≤ s_ι
+                shares[iota] = q
+                used += q
+            remaining = B - used
+            if remaining < 0:
+                raise RuntimeError("resource overuse in Case 1 assignment")
+            share = remaining
+            if R[max_w] < share:
+                share = R[max_w]
+            if S[max_w] < share:
+                share = S[max_w]
+            if share > 0:
+                shares[max_w] = share
+                if share == R[max_w]:
+                    n_fully_served += 1
+            waste = B - used - share
+        else:
+            # --------------------------- Case 2 --------------------------
+            case = "case2"
+            used = 0
+            for j in window:
+                if j == iota:
+                    continue
+                rj = R[j]
+                share = rj if rj < S[j] else S[j]
+                shares[j] = share
+                if share == rj:
+                    n_fully_served += 1
+                used += share
+            leftover = B - used
+            iota_finishing = iota is None
+            if iota is not None:
+                share = leftover
+                if R[iota] < share:
+                    share = R[iota]
+                if S[iota] < share:
+                    share = S[iota]
+                if share > 0:
+                    shares[iota] = share
+                iota_finishing = share == S[iota]
+                leftover -= share
+            # Case-2 leftover starts min R_t(W) on the reserved
+            # processor (only when no fractured job survives the step)
+            if leftover > 0 and enable_move and iota_finishing:
+                if hi < len_u:
+                    new_job = unfinished[hi]
+                    share = leftover
+                    if R[new_job] < share:
+                        share = R[new_job]
+                    if S[new_job] < share:
+                        share = S[new_job]
+                    if share > 0:
+                        shares[new_job] = share
+                        extra_started = new_job
+                        if share == R[new_job]:
+                            n_fully_served += 1
+                        leftover -= share
+            waste = leftover
+        if not shares:
+            raise RuntimeError("no resource assigned — assignment bug")
+
+        # ---- bulk horizon (Theorem 3.3 step skipping) -------------------
+        count = 1
+        if self.accelerate:
+            sole_stable_partial = None
+            n_partial = 0
+            for j, c in shares.items():
+                if 0 < c < R[j]:
+                    n_partial += 1
+                    sole_stable_partial = j
+            if n_partial != 1 or sole_stable_partial != max_w:
+                sole_stable_partial = None
+            steps_until = state.ctx.steps_until_status_change
+            horizon = 0
+            for j, c in shares.items():
+                if c <= 0:
+                    continue
+                limit = S[j] // c
+                if limit < 1:
+                    limit = 1
+                if c < R[j] and j != sole_stable_partial:
+                    i = steps_until(S[j], c, R[j])
+                    if i is not None and i < limit:
+                        limit = i
+                if horizon == 0 or limit < horizon:
+                    horizon = limit
+            count = horizon if horizon >= 1 else 1
+
+        decision = StepDecision(
+            shares=shares,
+            count=count,
+            case=case,
+            window=list(window),
+            waste=waste,
+            full_jobs_step=n_fully_served >= state.m - 2,
+            full_resource_step=waste == 0,  # Σ shares ≥ B ⇔ zero waste
+        )
+        # extra-started job joins the window (it is > max W by choice)
+        if extra_started is not None:
+            window.append(extra_started)
+        self.window = window
+        return decision
+
+
+# ---------------------------------------------------------------------------
+# Unit-size variant — m-maximal windows over the virtual (value, key) order
+# ---------------------------------------------------------------------------
+
+
+class UnitWindowPolicy:
+    """The m-maximal-window algorithm for unit-size jobs (``s_j = r_j``).
+
+    ``order`` is the virtual ordering as sorted ``(current value, key)``
+    pairs; the policy maintains it across steps, re-inserting the started
+    job ``ι`` at its new (value, key) rank after every step."""
+
+    def __init__(self, budget, order: Sequence) -> None:
+        self.budget = budget
+        self.order: List = list(order)
+        self.iota_idx: Optional[int] = None  # index of ι in `order`
+
+    def decide(self, state: EngineState) -> StepDecision:
+        order = self.order
+        m = state.m
+        budget = self.budget
+        iota_idx = self.iota_idx
+        if iota_idx is not None:
+            lo, hi = iota_idx, iota_idx + 1
+            r_w = order[iota_idx][0]
+        else:
+            lo = hi = 0
+            r_w = state.zero
+        # grow left
+        while hi - lo < m and lo > 0 and r_w < budget:
+            lo -= 1
+            r_w += order[lo][0]
+        # grow right
+        while r_w < budget and hi < len(order) and hi - lo < m:
+            r_w += order[hi][0]
+            hi += 1
+        # move right while resource-deficient and the leftmost is unstarted
+        while (
+            r_w < budget
+            and hi < len(order)
+            and (iota_idx is None or lo != iota_idx)
+        ):
+            r_w -= order[lo][0]
+            lo += 1
+            r_w += order[hi][0]
+            hi += 1
+        window = order[lo:hi]
+
+        # assignment: all but the last window job get their full value
+        shares: Dict = {}
+        used = state.zero
+        for value, key in window[:-1]:
+            shares[key] = value
+            used += value
+        last_value, last_key = window[-1]
+        last_share = min(budget - used, last_value)
+        if last_share <= 0:
+            raise RuntimeError("window assignment bug: max W gets nothing")
+        shares[last_key] = last_share
+        # bulk: a lone oversized job absorbing the full budget each step
+        count = 1
+        if hi - lo == 1 and last_share == budget:
+            count = last_value // budget
+            if count < 1:
+                count = 1
+            shares[last_key] = budget
+        # every job except possibly the last finishes this step
+        rem = last_value - count * shares[last_key]
+        new_order = order[:lo] + order[hi:]
+        if rem <= 0:
+            self.iota_idx = None
+        else:
+            entry = (rem, last_key)
+            idx = bisect_left(new_order, entry)
+            new_order.insert(idx, entry)
+            self.iota_idx = idx
+        self.order = new_order
+        n_full = (hi - lo) - (1 if rem > 0 else 0)
+        return StepDecision(
+            shares=shares,
+            count=count,
+            case="unit",
+            window=[key for _, key in window],
+            full_jobs_step=n_full >= m - 1,
+            full_resource_step=used + shares[last_key] >= budget,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sequential SRT engine — Listings 3 and 4 (task packing + unit window)
+# ---------------------------------------------------------------------------
+
+
+class SequentialTaskPolicy:
+    """Per step: pack whole tasks while they fit (phase A), then run the
+    unit-size sliding window over the current task's remaining jobs with
+    the leftover processors/resource (phase B).
+
+    Job keys are ``(task_id, job_index)``; ``orders`` holds one sorted
+    ``(current value, job_index)`` list per task, in schedule order.
+    Task completion times accumulate in ``self.completion``."""
+
+    def __init__(self, budget, m: int, task_ids: Sequence, orders) -> None:
+        self.budget = budget
+        self.m = m
+        self.task_ids = list(task_ids)
+        self.orders: List[List] = [list(o) for o in orders]
+        self.iotas: List[Optional[int]] = [None] * len(self.orders)
+        self.cur = 0
+        self.t = 0
+        self.completion: Dict = {}
+
+    def decide(self, state: EngineState) -> StepDecision:
+        self.t += 1
+        t = self.t
+        avail = self.budget
+        procs = self.m
+        shares: Dict = {}
+        packed: List = []
+        cur = self.cur
+        orders = self.orders
+        task_ids = self.task_ids
+        # ---- phase A: pack whole tasks ----------------------------------
+        while cur < len(orders):
+            order = orders[cur]
+            need = state.zero
+            for v, _ in order:
+                need += v
+            count = len(order)
+            if need <= avail and count <= procs:
+                tid = task_ids[cur]
+                for value, idx in order:
+                    shares[(tid, idx)] = value
+                avail -= need
+                procs -= count
+                self.completion[tid] = t
+                packed.append(tid)
+                orders[cur] = []
+                self.iotas[cur] = None
+                cur += 1
+            else:
+                break
+        # ---- phase B: sliding window on the current task ----------------
+        if cur < len(orders) and procs >= 1 and avail > 0:
+            order = orders[cur]
+            iota = self.iotas[cur]
+            tid = task_ids[cur]
+            window, lo = _task_unit_window(order, iota, procs, avail, state)
+            if window:
+                others = state.zero
+                for value, idx in window[:-1]:
+                    shares[(tid, idx)] = value
+                    others += value
+                last_value, last_idx = window[-1]
+                last_share = min(avail - others, last_value)
+                if last_share > 0:
+                    shares[(tid, last_idx)] = last_share
+                    new_rem = last_value - last_share
+                else:
+                    # degenerate tie: max W gets nothing; it must be
+                    # unstarted (the started job is never starved)
+                    if iota == last_idx:
+                        raise RuntimeError(
+                            "started job starved — engine invariant broken"
+                        )
+                    new_rem = last_value
+                    window = window[:-1]
+                # remove window jobs from the order, re-insert ι
+                served = {idx for _, idx in window}
+                order = [(v, i) for v, i in order if i not in served]
+                if new_rem > 0 and last_share > 0:
+                    self.iotas[cur] = last_idx
+                    insort(order, (new_rem, last_idx))
+                else:
+                    if self.iotas[cur] in served:
+                        self.iotas[cur] = None
+                orders[cur] = order
+                if not order:
+                    self.completion[tid] = t
+                    self.iotas[cur] = None
+                    cur += 1
+        self.cur = cur
+        if not shares:
+            raise RuntimeError(
+                "engine made no progress with unfinished tasks remaining"
+            )
+        used = state.zero
+        for v in shares.values():
+            used += v
+        return StepDecision(
+            shares=shares,
+            count=1,
+            case="seq",
+            window=packed,
+            used=used,
+            assign_processors=False,
+        )
+
+
+def _task_unit_window(order, iota, size, budget, state):
+    """m-maximal window over one task's virtual order: seed at ι (or the
+    left border), grow left, grow right, move right while the leftmost
+    entry is unstarted.  Returns the window slice and its start index."""
+    if not order:
+        return [], 0
+    if iota is None:
+        lo = hi = 0
+        r_w = state.zero
+    else:
+        pos = None
+        for p, (_, idx) in enumerate(order):
+            if idx == iota:
+                pos = p
+                break
+        if pos is None:
+            raise RuntimeError("started job lost from task order")
+        lo, hi = pos, pos + 1
+        r_w = order[pos][0]
+    while hi - lo < size and lo > 0 and r_w < budget:
+        lo -= 1
+        r_w += order[lo][0]
+    while r_w < budget and hi < len(order) and hi - lo < size:
+        r_w += order[hi][0]
+        hi += 1
+    while (
+        r_w < budget
+        and hi < len(order)
+        and (iota is None or order[lo][1] != iota)
+    ):
+        r_w -= order[lo][0]
+        lo += 1
+        r_w += order[hi][0]
+        hi += 1
+    return order[lo:hi], lo
+
+
+# ---------------------------------------------------------------------------
+# Generic window/assignment helpers (used by the online policy)
+# ---------------------------------------------------------------------------
+
+
+def compute_window(
+    state: EngineState, previous: List, size: int, budget, universe: List
+) -> List:
+    """Lines 2-5 of Listing 1 over an explicit *universe* (sorted eligible
+    job keys): intersect with the universe, grow left (property-(b)
+    gated), grow right, move right."""
+    R = state.req
+    alive = set(universe)
+    window = [j for j in previous if j in alive]
+    if window:
+        lo = bisect_left(universe, window[0])
+        r_wo_max = 0
+        for j in window:
+            r_wo_max += R[j]
+        r_wo_max -= R[window[-1]]
+    else:
+        lo = 0
+        r_wo_max = 0
+    while len(window) < size and lo > 0:
+        new_job = universe[lo - 1]
+        if r_wo_max + R[new_job] >= budget:
+            break
+        window.insert(0, new_job)
+        r_wo_max += R[new_job]
+        lo -= 1
+    if window:
+        r_w = r_wo_max + R[window[-1]]
+        hi = bisect_right(universe, window[-1])
+    else:
+        r_w = 0
+        hi = 0
+    len_u = len(universe)
+    while r_w < budget and hi < len_u and len(window) < size:
+        new_job = universe[hi]
+        window.append(new_job)
+        r_w += R[new_job]
+        hi += 1
+    if window:
+        while (
+            r_w < budget
+            and hi < len_u
+            and not state.is_started(window[0])
+        ):
+            dropped = window.pop(0)
+            r_w -= R[dropped]
+            new_job = universe[hi]
+            window.append(new_job)
+            r_w += R[new_job]
+            hi += 1
+    return window
+
+
+class WindowAssignment:
+    """Share vector + bookkeeping facts of one Listing-1 assignment."""
+
+    __slots__ = ("shares", "case", "extra_started", "waste", "used")
+
+    def __init__(self) -> None:
+        self.shares: Dict = {}
+        self.case = ""
+        self.extra_started = None
+        self.waste = 0
+        self.used = 0
+
+
+def compute_assignment(
+    state: EngineState,
+    window: List,
+    budget,
+    universe: List,
+    allow_extra_start: bool = True,
+    strict: bool = True,
+) -> WindowAssignment:
+    """Listing 1 lines 6-20 over an explicit universe (cf. the reference
+    ``core/assignment.compute_assignment``); shares are capped at
+    ``min(r_j, s_j(t-1))``, waste is explicit."""
+    S = state.remaining
+    R = state.req
+    result = WindowAssignment()
+    if not window:
+        result.waste = budget
+        return result
+    iota = None
+    for j in window:
+        if S[j] % R[j]:
+            if iota is not None:
+                if strict:
+                    fractured = [jj for jj in window if S[jj] % R[jj]]
+                    raise RuntimeError(
+                        f"window invariant broken: {len(fractured)} "
+                        f"fractured jobs ({fractured}); the "
+                        "algorithm guarantees at most one"
+                    )
+                break
+            iota = j
+    max_w = window[-1]
+    r_w_minus_f = 0
+    for j in window:
+        if j != iota:
+            r_w_minus_f += R[j]
+    shares = result.shares
+
+    if r_w_minus_f >= budget:
+        # ------------------------------- Case 1 --------------------------
+        result.case = "case1"
+        if iota == max_w:
+            if strict:
+                raise RuntimeError(
+                    "Case 1 with fractured max W contradicts window "
+                    "property (b)"
+                )
+            iota = None  # tolerant mode: demote ι
+        used = 0
+        for j in window:
+            if j == iota or j == max_w:
+                continue
+            rj = R[j]
+            share = rj if rj < S[j] else S[j]
+            shares[j] = share
+            used += share
+        if iota is not None:
+            q = S[iota] % R[iota]
+            shares[iota] = q
+            used += q
+        remaining = budget - used
+        if remaining < 0:
+            raise RuntimeError("resource overuse in Case 1 assignment")
+        share = remaining
+        if R[max_w] < share:
+            share = R[max_w]
+        if S[max_w] < share:
+            share = S[max_w]
+        if share > 0:
+            shares[max_w] = share
+        result.waste = budget - used - share
+        result.used = used + share
+    else:
+        # ------------------------------- Case 2 --------------------------
+        result.case = "case2"
+        used = 0
+        for j in window:
+            if j == iota:
+                continue
+            rj = R[j]
+            share = rj if rj < S[j] else S[j]
+            shares[j] = share
+            used += share
+        leftover = budget - used
+        iota_finishing = iota is None
+        if iota is not None:
+            share = leftover
+            if R[iota] < share:
+                share = R[iota]
+            if S[iota] < share:
+                share = S[iota]
+            if share > 0:
+                shares[iota] = share
+            iota_finishing = share == S[iota]
+            used += share
+            leftover -= share
+        # the reserved-processor start must not create a second fracture:
+        # only taken when no fractured job survives this step
+        if leftover > 0 and allow_extra_start and iota_finishing:
+            hi = bisect_right(universe, window[-1])
+            if hi < len(universe):
+                new_job = universe[hi]
+                share = leftover
+                if R[new_job] < share:
+                    share = R[new_job]
+                if S[new_job] < share:
+                    share = S[new_job]
+                if share > 0:
+                    shares[new_job] = share
+                    result.extra_started = new_job
+                    used += share
+                    leftover -= share
+        result.waste = leftover
+        result.used = used
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Online layer — arrival-aware window and list-scheduling policies
+# ---------------------------------------------------------------------------
+
+
+class OnlineWindowPolicy:
+    """Arrival-aware Listing 1: per step, the window machinery runs over
+    the *released and unfinished* jobs only.  Steps with nothing released
+    are idle decisions (empty share vector, zero utilization)."""
+
+    def __init__(self, budget, size: int, release_of: Dict) -> None:
+        self.budget = budget
+        self.size = size
+        self.release_of = release_of
+        self.window: List = []
+        self.t = 0
+
+    def decide(self, state: EngineState) -> StepDecision:
+        self.t += 1
+        t = self.t
+        rel = self.release_of
+        universe = [j for j in state._unfinished if rel[j] <= t]
+        if not universe:
+            # idle step: nothing released yet
+            return StepDecision(
+                shares={},
+                case="idle",
+                used=state.zero,
+                assign_processors=False,
+            )
+        window = compute_window(
+            state, self.window, self.size, self.budget, universe
+        )
+        assignment = compute_assignment(
+            state, window, self.budget, universe
+        )
+        decision = StepDecision(
+            shares=assignment.shares,
+            case=assignment.case,
+            window=list(window),
+            waste=assignment.waste,
+            used=assignment.used,
+            assign_processors=False,
+        )
+        if assignment.extra_started is not None:
+            window = sorted(set(window) | {assignment.extra_started})
+        self.window = window
+        return decision
+
+
+class OnlineListPolicy:
+    """Online list-scheduling baseline: full allocations only, FIFO by
+    release (ties by requirement)."""
+
+    def __init__(self, budget, m: int, release_of: Dict) -> None:
+        self.budget = budget
+        self.m = m
+        self.release_of = release_of
+        self.t = 0
+
+    def decide(self, state: EngineState) -> StepDecision:
+        self.t += 1
+        t = self.t
+        S = state.remaining
+        R = state.req
+        B = self.budget
+        rel = self.release_of
+        shares: Dict = {}
+        used = state.zero
+        slots = self.m
+        for job_id in state._unfinished:
+            if state.is_started(job_id):
+                full = min(R[job_id], B, S[job_id])
+                shares[job_id] = full
+                used += full
+                slots -= 1
+        fresh = sorted(
+            (
+                j
+                for j in state._unfinished
+                if not state.is_started(j) and rel[j] <= t
+            ),
+            key=lambda j: (rel[j], R[j], j),
+        )
+        for job_id in fresh:
+            if slots <= 0:
+                break
+            full = min(R[job_id], B)
+            if used + full <= B:
+                share = min(full, S[job_id])
+                shares[job_id] = share
+                used += share
+                slots -= 1
+        return StepDecision(
+            shares=shares, case="list", used=used, assign_processors=False
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fixed-assignment layer — per-step resource distribution among queue heads
+# ---------------------------------------------------------------------------
+
+
+class AssignedQueuePolicy:
+    """Work-conserving head-of-queue distribution (``smallest_first``,
+    ``largest_first`` or ``proportional``).  ``queues`` holds one job-key
+    list per processor in queue order; heads advance as jobs finish.
+
+    The ``proportional`` policy uses exact division, which does not stay
+    on the scaled-integer lattice — entry points resolve its backend to
+    the exact context (see ``repro.assigned.scheduler``)."""
+
+    def __init__(self, budget, queues: Sequence[Sequence], policy: str) -> None:
+        self.budget = budget
+        self.queues = [list(q) for q in queues]
+        self.policy = policy
+        self.heads = [0] * len(self.queues)
+
+    def decide(self, state: EngineState) -> StepDecision:
+        S = state.remaining
+        R = state.req
+        heads = self.heads
+        current: List = []
+        for i, queue in enumerate(self.queues):
+            h = heads[i]
+            while h < len(queue) and S[queue[h]] <= 0:
+                h += 1
+            heads[i] = h
+            if h < len(queue):
+                current.append(queue[h])
+        raw = self._distribute(current, S, R)
+        shares: Dict = {}
+        used = state.zero
+        for key in current:
+            share = raw.get(key)
+            if share is None or share <= 0:
+                continue
+            shares[key] = share
+            used += share
+        if used <= 0:
+            raise RuntimeError("assigned scheduler made no progress")
+        return StepDecision(
+            shares=shares,
+            case=self.policy,
+            used=used,
+            assign_processors=False,
+        )
+
+    def _distribute(self, current: List, S: Dict, R: Dict) -> Dict:
+        budget = self.budget
+        caps = {key: min(R[key], S[key]) for key in current}
+        if self.policy == "proportional":
+            total_req = 0
+            for key in current:
+                total_req += R[key]
+            shares: Dict = {}
+            left = budget
+            # proportional seed, capped; then cascade the slack smallest-first
+            for key in current:
+                seed = budget * R[key] / total_req
+                if caps[key] < seed:
+                    seed = caps[key]
+                shares[key] = seed
+                left -= seed
+            if left > 0:
+                for key in sorted(current, key=lambda k: (R[k], k)):
+                    room = caps[key] - shares[key]
+                    if room <= 0:
+                        continue
+                    extra = min(room, left)
+                    shares[key] += extra
+                    left -= extra
+                    if left <= 0:
+                        break
+            return shares
+        reverse = self.policy == "largest_first"
+        ordered = sorted(
+            current, key=lambda k: (R[k], k), reverse=reverse
+        )
+        shares = {}
+        left = budget
+        for key in ordered:
+            share = min(caps[key], left)
+            if share > 0:
+                shares[key] = share
+                left -= share
+            if left <= 0:
+                break
+        return shares

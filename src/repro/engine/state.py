@@ -1,0 +1,239 @@
+"""Shared mutable engine state, generic over the numeric backend.
+
+:class:`EngineState` is the one bookkeeping structure behind every
+scheduler layer in the repo: remaining requirements, started/fractured
+status, processor ownership, the RLE trace, completion times and the
+Theorem-3.3 step statistics.  All quantities live in the *working domain*
+of the attached numeric context (``state.ctx``) — exact rationals for the
+reference backend, LCM-rescaled integers for the fast backend.
+
+Generic-code contract (enforced by ``make lint-hotpath``): this module
+only combines quantities with ``+``, ``-``, ``*int``, ``min``/``max``,
+comparisons, ``//`` and ``%`` — the operations under which both working
+domains are closed — and never constructs a numeric literal other than
+via ``ctx.zero``.  (Plain ``0`` in comparisons and as an additive neutral
+is exact in both domains and therefore allowed.)
+
+Job keys are opaque sortable objects: plain ints for SRJ/unit jobs,
+``(task_id, index)`` pairs for the sequential SRT engine and
+``(processor, position)`` pairs for the fixed-assignment model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Set
+
+from .backends.base import NumericContext
+from .loop import StepDecision
+
+
+class EngineState:
+    """Tracks remaining work, fractured status and processor ownership."""
+
+    def __init__(
+        self,
+        m: int,
+        ctx: NumericContext,
+        requirements: Dict,
+        totals: Dict,
+        record_trace: bool = False,
+        record_utilization: bool = False,
+    ) -> None:
+        self.m = m
+        self.ctx = ctx
+        self.zero = ctx.zero
+        #: per-job resource requirement r_j (working domain)
+        self.req = dict(requirements)
+        #: per-job initial total requirement s_j = p_j * r_j (working domain)
+        self.total = dict(totals)
+        #: remaining total requirement s_j(t) per job key
+        self.remaining = dict(self.total)
+        #: job keys not yet finished, ascending (canonical order)
+        self._unfinished: List = sorted(self.remaining)
+        #: job key -> processor, assigned at first processing step
+        self.processor_of: Dict = {}
+        #: processors currently owned by a *running* (started, unfinished) job
+        self._busy_processors: Set[int] = set()
+        #: current time step (number of completed steps)
+        self.t: int = 0
+        #: job key -> completion time step
+        self.completion_times: Dict = {}
+        #: RLE trace rows (shares, processors, count, case, window) or None
+        self.trace: Optional[List] = [] if record_trace else None
+        #: per-step resource usage (working domain) or None
+        self.utilization: Optional[List] = [] if record_utilization else None
+        #: steps in which >= m-2 jobs got their full requirement
+        self.steps_full_jobs: int = 0
+        #: steps in which the whole resource budget was used
+        self.steps_full_resource: int = 0
+        #: total wasted resource over the run (working domain)
+        self.waste_units = ctx.zero
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def unfinished(self) -> List:
+        """``J(t)`` — keys of unfinished jobs, ascending (canonical order)."""
+        return list(self._unfinished)
+
+    def n_unfinished(self) -> int:
+        return len(self._unfinished)
+
+    def is_finished(self, job_id) -> bool:
+        return self.remaining[job_id] <= 0
+
+    def is_started(self, job_id) -> bool:
+        """Started := has received resource but is not finished."""
+        rem = self.remaining[job_id]
+        return rem < self.total[job_id] and rem > 0
+
+    def is_fractured(self, job_id) -> bool:
+        """``s_j(t)`` is not an integer multiple of ``r_j`` (and > 0)."""
+        rem = self.remaining[job_id]
+        if rem <= 0:
+            return False
+        return rem % self.req[job_id] != 0
+
+    def fractured_remainder(self, job_id):
+        """``q_j(t)``: the part of ``s_j(t)`` modulo ``r_j``, in [0, r_j)."""
+        return self.remaining[job_id] % self.req[job_id]
+
+    def started_jobs(self) -> List:
+        """All started (and unfinished) jobs."""
+        return [j for j in self._unfinished if self.is_started(j)]
+
+    def fractured_jobs(self) -> List:
+        """All fractured (unfinished) jobs."""
+        return [j for j in self._unfinished if self.is_fractured(j)]
+
+    def free_processors(self) -> List[int]:
+        """Processors not owned by a running job, ascending."""
+        return [p for p in range(self.m) if p not in self._busy_processors]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def processor_for(self, job_id) -> int:
+        """Processor owning *job_id*, assigning the lowest free one on first
+        use.
+
+        Raises :class:`RuntimeError` if all processors are busy — that would
+        mean the caller scheduled more than ``m`` concurrent jobs.
+        """
+        if job_id in self.processor_of and not self.is_finished(job_id):
+            return self.processor_of[job_id]
+        for p in range(self.m):
+            if p not in self._busy_processors:
+                self.processor_of[job_id] = p
+                self._busy_processors.add(p)
+                return p
+        raise RuntimeError(
+            f"no free processor for job {job_id}: more than m={self.m}"
+            " concurrent jobs scheduled"
+        )
+
+    def _apply(self, shares: Dict, count: int, check_negative: bool) -> List:
+        """Subtract ``count`` copies of *shares*, advance ``t``, record
+        completions, release processors of finished jobs."""
+        finished: List = []
+        remaining = self.remaining
+        for job_id, share in shares.items():
+            if share == 0:
+                continue
+            if check_negative and share < 0:
+                raise ValueError(f"negative share for job {job_id}")
+            rem = remaining[job_id] - count * share
+            if rem <= 0:
+                rem = self.zero
+                finished.append(job_id)
+            remaining[job_id] = rem
+        self.t += count
+        if finished:
+            for j in finished:
+                self.completion_times[j] = self.t
+                del self._unfinished[bisect_left(self._unfinished, j)]
+                proc = self.processor_of.get(j)
+                if proc is not None:
+                    self._busy_processors.discard(proc)
+        return finished
+
+    def apply_step(self, shares: Dict) -> List:
+        """Apply one time step of resource *shares* (job key -> share).
+
+        Shares are assumed already capped at ``min(r_j, s_j(t-1))`` by the
+        assignment layer.  Returns the list of jobs finished in this step and
+        releases their processors.  Advances ``t`` by one.
+        """
+        return self._apply(shares, 1, check_negative=True)
+
+    def apply_bulk(self, shares: Dict, k: int) -> List:
+        """Apply *k* identical steps at once (the fast-path of Theorem 3.3).
+
+        The caller guarantees that the share vector would be recomputed
+        identically for each of the ``k`` steps (no job finishes before the
+        last step, no fracture-status change alters the assignment).  Jobs
+        finishing exactly at the ``k``-th step are returned.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self._apply(shares, k, check_negative=False)
+
+    def apply_decision(self, decision: StepDecision) -> List:
+        """Apply one policy :class:`StepDecision`: assign processors, record
+        the trace row and statistics, subtract the shares."""
+        shares = decision.shares
+        procs: Optional[Dict] = None
+        if decision.assign_processors:
+            procs = {}
+            busy = self._busy_processors
+            owner = self.processor_of
+            for job_id in shares:
+                p = owner.get(job_id)
+                if p is None:
+                    for q in range(self.m):
+                        if q not in busy:
+                            p = q
+                            break
+                    else:
+                        raise RuntimeError(
+                            f"no free processor for job {job_id}: more than"
+                            f" m={self.m} concurrent jobs scheduled"
+                        )
+                    owner[job_id] = p
+                    busy.add(p)
+                procs[job_id] = p
+        if self.trace is not None:
+            self.trace.append(
+                (shares, procs, decision.count, decision.case, decision.window)
+            )
+        count = decision.count
+        finished = self._apply(shares, count, check_negative=True)
+        if decision.full_jobs_step:
+            self.steps_full_jobs += count
+        if decision.full_resource_step:
+            self.steps_full_resource += count
+        self.waste_units = self.waste_units + count * decision.waste
+        if self.utilization is not None:
+            self.utilization.append(decision.used)
+        return finished
+
+    # ------------------------------------------------------------------
+    # Window-relative job sets (Section 3 notation)
+    # ------------------------------------------------------------------
+
+    def left_of(self, window: Optional[List]) -> List:
+        """``L_t(U)``: unfinished jobs with key < min(U); all if U empty."""
+        if not window:
+            return []
+        lo = min(window)
+        return [j for j in self._unfinished if j < lo]
+
+    def right_of(self, window: Optional[List]) -> List:
+        """``R_t(U)``: unfinished jobs with key > max(U); all if U empty."""
+        if not window:
+            return list(self._unfinished)
+        hi = max(window)
+        return [j for j in self._unfinished if j > hi]

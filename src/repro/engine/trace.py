@@ -1,0 +1,92 @@
+"""Canonical run-length-encoded trace/event representation.
+
+Every scheduler layer that runs through the engine emits its history in
+this one format: a list of :class:`TraceRun` objects (each a run of
+``count`` identical time steps), wrapped in an :class:`SRJResult`.
+Validators and analysis code consume it either streamed
+(:meth:`SRJResult.iter_steps`) or materialized
+(:meth:`SRJResult.schedule`).
+
+Historically these classes lived in ``repro.core.scheduler``; that module
+re-exports them, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.instance import Instance
+    from ..core.schedule import Schedule
+
+
+@dataclass
+class TraceRun:
+    """A run of *count* identical time steps with the given shares."""
+
+    shares: Dict[int, Fraction]
+    processors: Dict[int, int]
+    count: int
+    case: str
+    window: List[int]
+
+
+@dataclass
+class SRJResult:
+    """Outcome of a scheduler run."""
+
+    instance: "Instance"
+    makespan: int
+    completion_times: Dict[int, int]
+    trace: List[TraceRun] = field(default_factory=list)
+    #: number of steps in which ≥ m-2 jobs got their full requirement
+    steps_full_jobs: int = 0
+    #: number of steps in which the whole resource budget was used
+    steps_full_resource: int = 0
+    #: total wasted resource over the run
+    total_waste: Fraction = Fraction(0)
+
+    def iter_steps(self) -> Iterator[Mapping[int, Tuple[int, Fraction]]]:
+        """Stream the schedule step-by-step without materializing it.
+
+        Yields one mapping ``job_id -> (processor, share)`` per time step,
+        expanding the RLE trace lazily — ``makespan`` steps in total, with
+        memory bounded by the widest single step.  For a run of ``k``
+        identical steps the *same* mapping object is yielded ``k`` times;
+        treat it as read-only (copy if you need to keep it).
+
+        This is what validators should consume for large instances, where
+        :meth:`schedule` would materialize millions of :class:`Step`
+        objects (see :func:`repro.core.validate.validate_result`).
+        """
+        for run in self.trace:
+            step = {
+                j: (run.processors[j], share)
+                for j, share in run.shares.items()
+            }
+            for _ in range(run.count):
+                yield step
+
+    def schedule(self, max_steps: int = 1_000_000) -> "Schedule":
+        """Expand the RLE trace into a full :class:`Schedule`.
+
+        Refuses to materialize more than *max_steps* steps.
+        """
+        from ..core.schedule import Schedule
+
+        if self.makespan > max_steps:
+            raise ValueError(
+                f"schedule has {self.makespan} steps; raise max_steps to expand"
+            )
+        sched = Schedule(instance=self.instance)
+        for run in self.trace:
+            for _ in range(run.count):
+                sched.append_step(
+                    {
+                        j: (run.processors[j], share)
+                        for j, share in run.shares.items()
+                    }
+                )
+        return sched

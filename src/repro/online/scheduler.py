@@ -11,6 +11,11 @@ the assignment logic never creates a second fracture.
 No competitive guarantee is claimed (the paper is offline); experiment E15
 measures empirical competitive ratios against the offline-clairvoyant
 lower bound.
+
+The step loops live in :mod:`repro.engine`
+(:class:`~repro.engine.policies.OnlineWindowPolicy` /
+:class:`~repro.engine.policies.OnlineListPolicy`); this module maps online
+job ids to the canonical offline instance and selects the numeric backend.
 """
 
 from __future__ import annotations
@@ -19,9 +24,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, List
 
-from ..core.assignment import compute_assignment
-from ..core.state import SchedulerState
-from ..core.window import compute_window
+from ..engine import api as _engine
 from .model import OnlineInstance
 
 
@@ -35,101 +38,52 @@ class OnlineResult:
     utilization: List[Fraction] = field(default_factory=list)
 
 
+def _release_map(instance: OnlineInstance, offline) -> Dict[int, int]:
+    by_online_id = {j.id: j for j in instance.jobs}
+    return {
+        canonical: by_online_id[online_id].release
+        for canonical, online_id in enumerate(offline.original_ids)
+    }
+
+
 def schedule_online(
-    instance: OnlineInstance, max_steps: int = 1_000_000
+    instance: OnlineInstance,
+    max_steps: int = 1_000_000,
+    backend: str = "auto",
 ) -> OnlineResult:
     """Run the arrival-aware window algorithm to completion."""
     offline = instance.to_offline()
-    # canonical id -> online id (original_ids stores the OnlineJob ids)
     online_id_of = dict(enumerate(offline.original_ids))
-    by_online_id = {j.id: j for j in instance.jobs}
-    release_of = {
-        canonical: by_online_id[online_id].release
-        for canonical, online_id in online_id_of.items()
-    }
-    state = SchedulerState(offline)
-    size = max(instance.m - 1, 1)
-    budget = Fraction(1)
-    window: List[int] = []
-    result = OnlineResult(makespan=0)
-    t = 0
-    while state.n_unfinished() > 0:
-        t += 1
-        if t > max_steps:
-            raise RuntimeError("online scheduler exceeded max_steps")
-        universe = [
-            j for j in state.unfinished() if release_of[j] <= t
-        ]
-        if not universe:
-            # idle step: nothing released yet
-            result.utilization.append(Fraction(0))
-            continue
-        window = compute_window(
-            state, window, size, budget, universe=universe
-        )
-        assignment = compute_assignment(
-            state, window, budget, universe=universe
-        )
-        finished = state.apply_step(assignment.shares)
-        if assignment.extra_started is not None:
-            window = sorted(set(window) | {assignment.extra_started})
-        result.utilization.append(assignment.total())
-        for j in finished:
-            result.completion_times[online_id_of[j]] = t
-    result.makespan = t
-    return result
+    release_of = _release_map(instance, offline)
+    makespan, completion, utilization = _engine.run_online(
+        offline, release_of, max_steps=max_steps, backend=backend
+    )
+    return OnlineResult(
+        makespan=makespan,
+        completion_times={
+            online_id_of[j]: t for j, t in completion.items()
+        },
+        utilization=utilization,
+    )
 
 
 def schedule_online_list(
-    instance: OnlineInstance, max_steps: int = 1_000_000
+    instance: OnlineInstance,
+    max_steps: int = 1_000_000,
+    backend: str = "auto",
 ) -> OnlineResult:
     """Online list-scheduling baseline: full allocations only, FIFO by
     release (ties by requirement)."""
     offline = instance.to_offline()
     online_id_of = dict(enumerate(offline.original_ids))
-    by_online_id = {j.id: j for j in instance.jobs}
-    release_of = {
-        canonical: by_online_id[online_id].release
-        for canonical, online_id in online_id_of.items()
-    }
-    state = SchedulerState(offline)
-    result = OnlineResult(makespan=0)
-    t = 0
-    while state.n_unfinished() > 0:
-        t += 1
-        if t > max_steps:
-            raise RuntimeError("online list scheduler exceeded max_steps")
-        shares: Dict[int, Fraction] = {}
-        used = Fraction(0)
-        slots = instance.m
-        for job_id in state.started_jobs():
-            full = min(
-                offline.requirement(job_id), Fraction(1),
-                state.remaining[job_id],
-            )
-            shares[job_id] = full
-            used += full
-            slots -= 1
-        fresh = sorted(
-            (
-                j for j in state.unfinished()
-                if not state.is_started(j) and release_of[j] <= t
-            ),
-            key=lambda j: (release_of[j], offline.requirement(j), j),
-        )
-        for job_id in fresh:
-            if slots <= 0:
-                break
-            full = min(offline.requirement(job_id), Fraction(1))
-            if used + full <= 1:
-                shares[job_id] = min(full, state.remaining[job_id])
-                used += shares[job_id]
-                slots -= 1
-        finished = state.apply_step(shares) if shares else []
-        if not shares:
-            state.t += 0  # idle step (nothing released fits)
-        result.utilization.append(used)
-        for j in finished:
-            result.completion_times[online_id_of[j]] = t
-    result.makespan = t
-    return result
+    release_of = _release_map(instance, offline)
+    makespan, completion, utilization = _engine.run_online_list(
+        offline, release_of, max_steps=max_steps, backend=backend
+    )
+    return OnlineResult(
+        makespan=makespan,
+        completion_times={
+            online_id_of[j]: t for j, t in completion.items()
+        },
+        utilization=utilization,
+    )

@@ -1,23 +1,28 @@
-"""Performance subsystem: exact integer kernels, parallel sweeps, benches.
+"""Performance subsystem: scaled-integer entry points, sweeps, benches.
 
-The exact schedulers in :mod:`repro.core` decide every predicate over
+The exact schedulers decide every predicate over
 :class:`fractions.Fraction`; profiling (``python -m repro.analysis.profiling``)
-shows rational arithmetic dominating their runtime.  This package provides
+shows rational arithmetic dominating their runtime.  The engine refactor
+moved the scaled-integer arithmetic itself into
+:mod:`repro.engine.backends.integer` (all quantities rescaled by the LCM
+``D`` of the requirement denominators, every predicate pure integer
+arithmetic, results *bit-for-bit identical* to the Fraction path — unlike
+the float mirror in :mod:`repro.core.fastfloat`).  This package keeps the
+perf-facing entry points and harnesses:
 
-* :mod:`repro.perf.intkernel` — a **scaled-integer kernel** for the general
-  sliding-window scheduler: all quantities are rescaled by the LCM ``D`` of
-  the requirement denominators so that every predicate becomes pure integer
-  arithmetic.  Unlike the float mirror in :mod:`repro.core.fastfloat` the
-  results are *bit-for-bit identical* to the Fraction path.
-  :func:`solve_srj` selects a backend (``"auto" | "fraction" | "int"``).
-* :mod:`repro.perf.unitint` — the same treatment for the unit-size
-  algorithm and the Corollary-3.9 bin-packing pipeline
+* :mod:`repro.perf.intkernel` — compatibility shim for the original
+  kernel's names; :func:`solve_srj` selects a backend
+  (``"auto" | "fraction" | "int"``).
+* :mod:`repro.perf.unitint` — scaled-integer entry points for the
+  unit-size algorithm and the Corollary-3.9 bin-packing pipeline
   (:func:`int_unit_makespan`, :func:`int_pack_bins`).
 * :mod:`repro.perf.parallel` — a deterministic
   :class:`~concurrent.futures.ProcessPoolExecutor` sweep runner used by the
   experiment harness (:func:`parallel_map`, :func:`seed_for`).
 * :mod:`repro.perf.bench` — the bench-regression harness producing
-  ``BENCH_1.json`` (wall-clock per backend, speedup, peak RSS).
+  ``BENCH_1.json`` (general SRJ, wall-clock per backend, speedup, RSS).
+* :mod:`repro.perf.bench_srt` — the same for the SRT scheduler,
+  producing ``BENCH_2.json``.
 
 See ``docs/PERFORMANCE.md`` for the exactness argument and usage.
 """
@@ -40,6 +45,7 @@ __all__ = [
     "seed_for",
     "auto_workers",
     "run_bench",
+    "run_bench_srt",
 ]
 
 
@@ -50,4 +56,8 @@ def __getattr__(name: str):
         from .bench import run_bench
 
         return run_bench
+    if name == "run_bench_srt":
+        from .bench_srt import run_bench_srt
+
+        return run_bench_srt
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

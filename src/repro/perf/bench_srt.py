@@ -1,0 +1,166 @@
+"""Bench-regression harness for SRT: both backends → ``BENCH_2.json``.
+
+Companion to :mod:`repro.perf.bench` (which sweeps the general SRJ kernel
+into ``BENCH_1.json``): runs the Theorem-4.8 SRT scheduler
+(:func:`repro.tasks.solve_srt`) on generated task sets with the exact
+rational backend and the engine's LCM-rescaled integer backend,
+cross-checks that both produce identical completion times, and records
+
+* per-point wall-clock (best of ``reps``) for both backends and the speedup,
+* the power-law exponents of time vs the number of tasks,
+* peak RSS of the process,
+
+into a JSON file so subsequent PRs have a perf trajectory to diff against.
+
+Usage::
+
+    python -m repro.perf.bench_srt              # small scale, BENCH_2.json
+    python -m repro.perf.bench_srt --scale full -o BENCH_2.json
+
+or from code / the benchmark harness::
+
+    from repro.perf.bench_srt import run_bench_srt
+    report = run_bench_srt(scale="small")
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from .bench import peak_rss_kb, write_report
+from .parallel import seed_for
+
+__all__ = ["run_bench_srt", "write_report"]
+
+#: schema version of the emitted JSON (bump on incompatible change)
+SCHEMA = 1
+
+
+def _sweep_points(scale: str) -> Dict[str, List[int]]:
+    if scale == "small":
+        return {"ks": [10, 20, 40, 80], "ms": [4, 8, 16],
+                "k_fixed": [40], "m_fixed": [8], "reps": [2]}
+    if scale == "full":
+        return {"ks": [20, 40, 80, 160, 320], "ms": [4, 8, 16, 32],
+                "k_fixed": [160], "m_fixed": [8], "reps": [3]}
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def _time_backend(ti, backend: str, reps: int) -> tuple:
+    from ..tasks import solve_srt
+
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = solve_srt(ti, backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_bench_srt(
+    scale: str = "small",
+    seed: int = 0,
+    out: Optional[str] = None,
+    reps: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the two-backend SRT sweep; return (and optionally write) a report."""
+    import random
+
+    from ..workloads import make_taskset
+
+    p = _sweep_points(scale)
+    reps = reps if reps is not None else p["reps"][0]
+    m_fixed, k_fixed = p["m_fixed"][0], p["k_fixed"][0]
+    rows: List[Dict[str, object]] = []
+
+    def run_point(sweep: str, m: int, k: int, idx: int) -> None:
+        rng = random.Random(seed_for(seed, idx))
+        ti = make_taskset("mixed", rng, m, k)
+        t_frac, res_frac = _time_backend(ti, "fraction", reps)
+        t_int, res_int = _time_backend(ti, "int", reps)
+        if res_frac.completion_times != res_int.completion_times:
+            raise AssertionError(
+                f"backend mismatch at (m={m}, k={k}): completion times "
+                "differ between fraction and int"
+            )
+        rows.append({
+            "sweep": sweep, "m": m, "k": k, "n_jobs": ti.n_jobs,
+            "makespan": res_frac.makespan,
+            "sum_completion": res_frac.sum_completion_times(),
+            "fraction_s": round(t_frac, 6), "int_s": round(t_int, 6),
+            "speedup": round(t_frac / t_int, 2) if t_int > 0 else float("inf"),
+        })
+
+    idx = 0
+    for k in p["ks"]:
+        run_point("k", m_fixed, k, idx)
+        idx += 1
+    for m in p["ms"]:
+        run_point("m", m, k_fixed, idx)
+        idx += 1
+
+    k_rows = [r for r in rows if r["sweep"] == "k"]
+    largest = max(k_rows, key=lambda r: r["k"])
+    from ..analysis.stats import fit_power_law
+
+    exp_frac, _ = fit_power_law(
+        [float(r["k"]) for r in k_rows],
+        [max(r["fraction_s"], 1e-9) for r in k_rows],
+    )
+    exp_int, _ = fit_power_law(
+        [float(r["k"]) for r in k_rows],
+        [max(r["int_s"], 1e-9) for r in k_rows],
+    )
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "bench": "SRT runtime, fraction vs int backend",
+        "scale": scale,
+        "seed": seed,
+        "reps": reps,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rows": rows,
+        "summary": {
+            "largest_k": largest["k"],
+            "largest_n_jobs": largest["n_jobs"],
+            "speedup_at_largest_k": largest["speedup"],
+            "max_speedup": max(r["speedup"] for r in rows),
+            "min_speedup": min(r["speedup"] for r in rows),
+            "power_law_exponent_fraction": round(exp_frac, 3),
+            "power_law_exponent_int": round(exp_int, 3),
+            "peak_rss_kb": peak_rss_kb(),
+        },
+    }
+    if out:
+        write_report(report, out)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench_srt",
+        description="two-backend SRT runtime bench; emits BENCH_2.json",
+    )
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--out", default="BENCH_2.json")
+    args = parser.parse_args(argv)
+    report = run_bench_srt(scale=args.scale, seed=args.seed, out=args.out)
+    s = report["summary"]
+    print(f"wrote {args.out}")
+    print(
+        f"speedup at k={s['largest_k']} ({s['largest_n_jobs']} jobs): "
+        f"{s['speedup_at_largest_k']}x "
+        f"(max {s['max_speedup']}x, min {s['min_speedup']}x); "
+        f"peak RSS {s['peak_rss_kb']} KiB"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,55 +1,48 @@
-"""Exact scaled-integer kernel for the general SRJ scheduler.
+"""Scaled-integer backend — historical home, now a thin compatibility shim.
 
-The Fraction-based scheduler (:class:`repro.core.scheduler.SlidingWindowScheduler`)
-pays a gcd-normalization on every arithmetic operation.  This kernel removes
-that cost without giving up exactness:
+PR 1 introduced the exact LCM-rescaled integer kernel here as a standalone
+flat loop.  The engine refactor generalized that kernel to *every*
+scheduler layer: the scaling argument and the integer arithmetic now live
+in :mod:`repro.engine.backends.integer`, and the Listing-1 step loop is
+the backend-generic :class:`repro.engine.policies.SlidingWindowPolicy`
+driven by :func:`repro.engine.api.solve_srj`.
 
-**Scaling argument.**  Let ``D`` be the least common multiple of the
-denominators of the budget ``R`` and all requirements ``r_j``.  Rescale
-every quantity by ``D``: ``R_j := D·r_j``, ``S_j := D·s_j = p_j·R_j``,
-``B := D·R`` — all integers.  Every quantity the algorithm ever derives is
-obtained from these by sums, differences and minima, so by induction every
-remaining requirement, share and waste stays an integer multiple of ``1/D``
-and is represented exactly by its scaled integer.  Every predicate of the
-algorithm —
+This module keeps the historical public names importable:
 
-* window feasibility ``r(W \\ {max W}) < R``  ⇔  ``Σ R_j < B``,
-* the case split ``r(W \\ F) ≥ R``  ⇔  ``Σ R_j ≥ B``,
-* the fractured predicate ``s_j(t) mod r_j ≠ 0``  ⇔  ``S_j mod R_j ≠ 0``
-  (and ``q_j(t) = (S_j mod R_j)/D``),
-* the bulk-horizon congruence ``i·c ≡ a (mod r)`` (invariant under the
-  common scaling: ``i·Dc ≡ Da (mod Dr)  ⇔  i·c ≡ a (mod r)``)
+* :func:`common_denominator` — the LCM ``D`` for an
+  :class:`~repro.core.instance.Instance`;
+* :class:`IntSlidingWindowScheduler` — same constructor as
+  :class:`~repro.core.scheduler.SlidingWindowScheduler`, runs the engine
+  with ``backend="int"``;
+* :func:`solve_srj` — the backend-selectable entry point (now an alias of
+  :func:`repro.engine.api.solve_srj`).
 
-is therefore decided identically, and the produced trace, makespan and
-completion times are **bit-for-bit equal** to the Fraction path (asserted
-property-based in ``tests/test_perf_backends.py``).  This is what the float
-mirror in :mod:`repro.core.fastfloat` cannot offer.
-
-The run loop is deliberately written as one flat function over plain int
-lists — after the Fraction arithmetic is gone, Python-level call and
-allocation overhead is what remains, and the ≥10× E4 speedup target
-(``BENCH_1.json``) requires trimming that too.  Comments map each block to
-its counterpart in ``core/{scheduler,window,assignment,state}.py``.
-
-Use :func:`solve_srj` to pick a backend; ``backend="auto"`` (the default)
-uses this kernel.
+Results remain **bit-for-bit equal** to the Fraction path (asserted
+property-based in ``tests/test_perf_backends.py``); see
+:mod:`repro.engine.backends.integer` for the scaling argument.
 """
 
 from __future__ import annotations
 
-import math
-from bisect import bisect_left, bisect_right
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..core.instance import Instance
-from ..core.scheduler import SRJResult, SlidingWindowScheduler, TraceRun, _run_serial
+from ..engine import api as _engine
+from ..engine.backends.integer import (
+    int_steps_until_status_change as _int_steps_until_status_change,
+    lcm_denominator,
+)
+from ..engine.trace import SRJResult
 
 __all__ = [
     "common_denominator",
     "IntSlidingWindowScheduler",
     "solve_srj",
 ]
+
+# historical alias, kept for callers of the private helper
+_int_steps_until_status_change = _int_steps_until_status_change
 
 
 def common_denominator(instance: Instance, budget: Fraction = Fraction(1)) -> int:
@@ -58,40 +51,17 @@ def common_denominator(instance: Instance, budget: Fraction = Fraction(1)) -> in
     Since sizes are integral, ``s_j = p_j·r_j`` has a denominator dividing
     ``r_j``'s, so scaling by ``D`` makes *every* initial quantity integral.
     """
-    d = budget.denominator
-    for job in instance.jobs:
-        d = math.lcm(d, job.requirement.denominator)
-    return d
-
-
-def _int_steps_until_status_change(a: int, c: int, r: int) -> Optional[int]:
-    """Integer mirror of ``scheduler._steps_until_status_change``.
-
-    Smallest ``i ≥ 1`` such that ``(a - i·c) mod r`` flips the fractured
-    predicate, for scaled remaining ``a``, share ``c``, requirement ``r``.
-    The congruence is invariant under the common scaling by ``D``, so the
-    answer equals the Fraction version's exactly.
-    """
-    if c <= 0 or c >= r:
-        return None
-    if a % r == 0:
-        return 1
-    g = math.gcd(c, r)
-    if a % g != 0:
-        return None
-    r_red = r // g
-    if r_red == 1:
-        return 1
-    i0 = (a // g) * pow(c // g, -1, r_red) % r_red
-    return i0 if i0 >= 1 else r_red
+    return lcm_denominator(
+        budget, (job.requirement for job in instance.jobs)
+    )
 
 
 class IntSlidingWindowScheduler:
-    """Scaled-integer implementation of Listing 1 (see module docstring).
+    """Listing 1 on the scaled-integer backend (see module docstring).
 
     Accepts the same parameters as
     :class:`repro.core.scheduler.SlidingWindowScheduler` and produces an
-    identical :class:`~repro.core.scheduler.SRJResult` (shares in the trace
+    identical :class:`~repro.engine.trace.SRJResult` (shares in the trace
     are converted back to Fractions ``c/D`` once, after the run).
     """
 
@@ -110,323 +80,14 @@ class IntSlidingWindowScheduler:
         self.enable_move = enable_move
         self.budget = Fraction(1)
 
-    # ------------------------------------------------------------------
-
-    def run(self) -> SRJResult:  # noqa: C901 - deliberately one hot loop
-        inst = self.instance
-        if inst.m == 1:
-            return _run_serial(inst)
-
-        D = common_denominator(inst, self.budget)
-        n = inst.n
-        # scaled instance data, indexed by canonical job id 0..n-1
-        R: List[int] = [0] * n
-        S: List[int] = [0] * n
-        S0: List[int] = [0] * n
-        for job in inst.jobs:
-            r = job.requirement
-            jid = job.id
-            R[jid] = r.numerator * (D // r.denominator)
-            S0[jid] = S[jid] = job.size * R[jid]
-        B = self.budget.numerator * (D // self.budget.denominator)
-
-        unfinished: List[int] = list(range(n))
-        proc_of: List[int] = [-1] * n
-        busy: List[bool] = [False] * inst.m
-        m = inst.m
-        size = self.window_size
-        enable_move = self.enable_move
-        # strict / allow_extra_start follow enable_move exactly as in the
-        # Fraction scheduler (compute_assignment is called with
-        # allow_extra_start=enable_move, strict=enable_move)
-        strict = enable_move
-        accelerate = self.accelerate
-        steps_until = _int_steps_until_status_change
-
-        makespan = 0
-        completion_times: Dict[int, int] = {}
-        int_trace: List[tuple] = []
-        trace_append = int_trace.append
-        steps_full_jobs = 0
-        steps_full_resource = 0
-        waste_acc = 0
-
-        window: List[int] = []
-        guard = 0
-        max_iters = self._iteration_cap()
-        while unfinished:
-            guard += 1
-            if guard > max_iters:
-                raise RuntimeError(
-                    "scheduler exceeded iteration cap — non-termination bug"
-                )
-            # ---- window: Lines 2-5 of Listing 1 (core/window.py) --------
-            # carry over the unfinished part of the previous window
-            window = [j for j in window if S[j] > 0]
-            # GrowWindowLeft with the DESIGN.md §2 repair: gate each add on
-            # r((W ∪ {j}) \ {max W}) < B so property (b) is preserved
-            if window:
-                lo = bisect_left(unfinished, window[0])
-                r_wo_max = 0
-                for j in window:
-                    r_wo_max += R[j]
-                r_wo_max -= R[window[-1]]
-            else:
-                lo = 0
-                r_wo_max = 0
-            while len(window) < size and lo > 0:
-                new_job = unfinished[lo - 1]
-                if r_wo_max + R[new_job] >= B:
-                    break
-                window.insert(0, new_job)
-                r_wo_max += R[new_job]
-                lo -= 1
-            # GrowWindowRight while r(W) < B  (left growth never touches
-            # max W, so r(W) = r_wo_max + R[max W])
-            if window:
-                r_w = r_wo_max + R[window[-1]]
-                hi = bisect_right(unfinished, window[-1])
-            else:
-                r_w = 0
-                hi = 0
-            len_u = len(unfinished)
-            while r_w < B and hi < len_u and len(window) < size:
-                new_job = unfinished[hi]
-                window.append(new_job)
-                r_w += R[new_job]
-                hi += 1
-            # MoveWindowRight while resource-deficient and min W unstarted
-            if enable_move and window:
-                while r_w < B and hi < len_u:
-                    j0 = window[0]
-                    if 0 < S[j0] < S0[j0]:  # started jobs are never dropped
-                        break
-                    window.pop(0)
-                    r_w -= R[j0]
-                    new_job = unfinished[hi]
-                    window.append(new_job)
-                    r_w += R[new_job]
-                    hi += 1
-            if not window:
-                raise RuntimeError(
-                    "empty window with unfinished jobs — window bug"
-                )
-
-            # ---- assignment: Listing 1 lines 6-20 (core/assignment.py) --
-            # F = set of fractured window jobs (|F| ≤ 1 when strict)
-            iota = -1
-            for j in window:
-                if S[j] % R[j]:
-                    if iota >= 0:
-                        if strict:
-                            fractured = [
-                                jj for jj in window if S[jj] % R[jj]
-                            ]
-                            raise RuntimeError(
-                                f"window invariant broken: {len(fractured)} "
-                                f"fractured jobs ({fractured}); the "
-                                "algorithm guarantees at most one"
-                            )
-                        break  # tolerant mode only needs the first ι
-                    iota = j
-            max_w = window[-1]
-            r_w_minus_f = r_w - R[iota] if iota >= 0 else r_w
-            shares: Dict[int, int] = {}
-            n_fully_served = 0
-            extra_started = -1
-
-            if r_w_minus_f >= B:
-                # --------------------------- Case 1 ----------------------
-                case = "case1"
-                if iota == max_w:
-                    if strict:
-                        raise RuntimeError(
-                            "Case 1 with fractured max W contradicts window "
-                            "property (b)"
-                        )
-                    iota = -1  # tolerant mode: demote ι
-                used = 0
-                for j in window:
-                    if j == iota or j == max_w:
-                        continue
-                    rj = R[j]
-                    share = rj if rj < S[j] else S[j]
-                    shares[j] = share
-                    if share == rj:
-                        n_fully_served += 1
-                    used += share
-                if iota >= 0:
-                    q = S[iota] % R[iota]  # q_ι(t-1) ∈ (0, r_ι), ≤ s_ι
-                    shares[iota] = q
-                    used += q
-                remaining = B - used
-                if remaining < 0:
-                    raise RuntimeError("resource overuse in Case 1 assignment")
-                share = remaining
-                if R[max_w] < share:
-                    share = R[max_w]
-                if S[max_w] < share:
-                    share = S[max_w]
-                if share > 0:
-                    shares[max_w] = share
-                    if share == R[max_w]:
-                        n_fully_served += 1
-                waste = B - used - share
-            else:
-                # --------------------------- Case 2 ----------------------
-                case = "case2"
-                used = 0
-                for j in window:
-                    if j == iota:
-                        continue
-                    rj = R[j]
-                    share = rj if rj < S[j] else S[j]
-                    shares[j] = share
-                    if share == rj:
-                        n_fully_served += 1
-                    used += share
-                leftover = B - used
-                iota_finishing = iota < 0
-                if iota >= 0:
-                    share = leftover
-                    if R[iota] < share:
-                        share = R[iota]
-                    if S[iota] < share:
-                        share = S[iota]
-                    if share > 0:
-                        shares[iota] = share
-                    iota_finishing = share == S[iota]
-                    leftover -= share
-                # Case-2 leftover starts min R_t(W) on the reserved
-                # processor (only when no fractured job survives the step)
-                if leftover > 0 and enable_move and iota_finishing:
-                    if hi < len_u:
-                        new_job = unfinished[hi]
-                        share = leftover
-                        if R[new_job] < share:
-                            share = R[new_job]
-                        if S[new_job] < share:
-                            share = S[new_job]
-                        if share > 0:
-                            shares[new_job] = share
-                            extra_started = new_job
-                            if share == R[new_job]:
-                                n_fully_served += 1
-                            leftover -= share
-                waste = leftover
-            if not shares:
-                raise RuntimeError("no resource assigned — assignment bug")
-
-            # ---- bulk horizon (scheduler._bulk_horizon) -----------------
-            count = 1
-            if accelerate:
-                sole_stable_partial = -1
-                n_partial = 0
-                for j, c in shares.items():
-                    if 0 < c < R[j]:
-                        n_partial += 1
-                        sole_stable_partial = j
-                if n_partial != 1 or sole_stable_partial != max_w:
-                    sole_stable_partial = -1
-                horizon = -1
-                for j, c in shares.items():
-                    if c <= 0:
-                        continue
-                    limit = S[j] // c
-                    if limit < 1:
-                        limit = 1
-                    if c < R[j] and j != sole_stable_partial:
-                        i = steps_until(S[j], c, R[j])
-                        if i is not None and i < limit:
-                            limit = i
-                    if horizon < 0 or limit < horizon:
-                        horizon = limit
-                count = horizon if horizon >= 1 else 1
-
-            # ---- apply the (bulk) step & processor ownership ------------
-            # (state.apply_bulk + state.processor_for: first touch gets the
-            # lowest free processor and keeps it until the job finishes)
-            procs: Dict[int, int] = {}
-            finished: List[int] = []
-            for j, c in shares.items():
-                p = proc_of[j]
-                if p < 0:
-                    for p in range(m):  # noqa: B007 - reuse loop var
-                        if not busy[p]:
-                            break
-                    else:
-                        raise RuntimeError(
-                            f"no free processor for job {j}: more than "
-                            f"m={m} concurrent jobs scheduled"
-                        )
-                    proc_of[j] = p
-                    busy[p] = True
-                procs[j] = p
-                if c == 0:
-                    continue
-                rem = S[j] - count * c
-                if rem <= 0:
-                    S[j] = 0
-                    finished.append(j)
-                else:
-                    S[j] = rem
-
-            trace_append((shares, procs, count, case, list(window)))
-            makespan += count
-            for j in finished:
-                completion_times[j] = makespan
-                del unfinished[bisect_left(unfinished, j)]
-                busy[proc_of[j]] = False
-            # Theorem 3.3 accounting
-            if n_fully_served >= m - 2:
-                steps_full_jobs += count
-            if waste == 0:  # Σ shares ≥ B ⇔ zero waste (waste is ≥ 0)
-                steps_full_resource += count
-            waste_acc += count * waste
-            # extra-started job joins the window (it is > max W by choice)
-            if extra_started >= 0:
-                window.append(extra_started)
-
-        # ---- convert the integer trace back to Fractions ----------------
-        frac_cache: Dict[int, Fraction] = {}
-
-        def frac(c: int) -> Fraction:
-            f = frac_cache.get(c)
-            if f is None:
-                f = frac_cache[c] = Fraction(c, D)
-            return f
-
-        result = SRJResult(
-            instance=inst,
-            makespan=makespan,
-            completion_times=completion_times,
-            steps_full_jobs=steps_full_jobs,
-            steps_full_resource=steps_full_resource,
-            total_waste=Fraction(waste_acc, D),
+    def run(self) -> SRJResult:
+        return _engine.solve_srj(
+            self.instance,
+            backend="int",
+            accelerate=self.accelerate,
+            window_size=self.window_size,
+            enable_move=self.enable_move,
         )
-        result.trace = [
-            TraceRun(
-                shares={j: frac(c) for j, c in shares.items()},
-                processors=procs,
-                count=count,
-                case=case,
-                window=win,
-            )
-            for shares, procs, count, case, win in int_trace
-        ]
-        return result
-
-    # ------------------------------------------------------------------
-
-    def _iteration_cap(self) -> int:
-        # mirrors SlidingWindowScheduler._iteration_cap
-        total_steps = sum(job.size for job in self.instance.jobs)
-        if self.accelerate:
-            return 16 * (self.instance.n + 4) * (self.instance.n + 4)
-        return 4 * total_steps * max(2, self.instance.n) + 64
-
-
-_BACKENDS = ("auto", "fraction", "int")
 
 
 def solve_srj(
@@ -438,25 +99,15 @@ def solve_srj(
 ) -> SRJResult:
     """Run Listing 1 on *instance* with a selectable numeric backend.
 
-    ``backend="fraction"`` is the reference :class:`fractions.Fraction`
-    implementation; ``backend="int"`` is the scaled-integer kernel of this
-    module (bit-for-bit identical results, typically an order of magnitude
-    faster); ``backend="auto"`` picks the integer kernel.
+    ``backend="fraction"`` is the reference exact-rational implementation;
+    ``backend="int"`` is the scaled-integer kernel (bit-for-bit identical
+    results, typically an order of magnitude faster); ``backend="auto"``
+    picks the integer kernel.
     """
-    if backend not in _BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; choose from {_BACKENDS}"
-        )
-    if backend == "fraction":
-        return SlidingWindowScheduler(
-            instance,
-            accelerate=accelerate,
-            window_size=window_size,
-            enable_move=enable_move,
-        ).run()
-    return IntSlidingWindowScheduler(
+    return _engine.solve_srj(
         instance,
+        backend=backend,
         accelerate=accelerate,
         window_size=window_size,
         enable_move=enable_move,
-    ).run()
+    )

@@ -1,27 +1,29 @@
-"""Scaled-integer kernel for the unit-size algorithm and Cor. 3.9 packing.
+"""Scaled-integer entry points for unit-size SRJ and Cor. 3.9 packing.
 
 :func:`repro.core.fastfloat.fast_unit_makespan` trades exactness for speed
-(floats plus an ``_EPS`` tolerance); this module applies the
-:mod:`repro.perf.intkernel` scaling trick to the unit-size algorithm
-instead: requirements are rescaled by the LCM ``D`` of their denominators,
-after which every comparison the algorithm makes (window feasibility
-``r(W) < R``, the virtual reordering of the started job ``ι``, the bulk
-jump of a lone oversized job) is pure integer arithmetic and the returned
-makespan equals :func:`repro.core.unit.schedule_unit`'s **exactly** — on
-*all* rational inputs, not just dyadic ones.
+(floats plus an ``_EPS`` tolerance); these entry points instead run the
+unit-size m-maximal-window algorithm on the engine's LCM-rescaled integer
+backend (:mod:`repro.engine.backends.integer`): requirements are rescaled
+by the LCM ``D`` of their denominators, after which every comparison the
+algorithm makes (window feasibility ``r(W) < R``, the virtual reordering
+of the started job ``ι``, the bulk jump of a lone oversized job) is pure
+integer arithmetic and the returned makespan equals
+:func:`repro.core.unit.schedule_unit`'s **exactly** — on *all* rational
+inputs, not just dyadic ones.
 
 Used by the bin-packing pipeline (each time step = one bin, Corollary 3.9)
 for large item counts where the Fraction scheduler is too slow but float
-tolerance is unacceptable.
+tolerance is unacceptable.  The step loop itself lives in
+:class:`repro.engine.policies.UnitWindowPolicy`; this module keeps the
+historical names and input validation.
 """
 
 from __future__ import annotations
 
-import math
-from bisect import bisect_left
 from fractions import Fraction
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
+from ..engine import api as _engine
 from ..numeric import Number, ceil_frac, to_fraction
 
 __all__ = ["int_unit_makespan", "int_pack_bins"]
@@ -45,64 +47,7 @@ def int_unit_makespan(
         raise ValueError("requirements must be positive")
     if not reqs:
         return 0
-    d = b.denominator
-    for r in reqs:
-        d = math.lcm(d, r.denominator)
-    B = b.numerator * (d // b.denominator)
-    # (scaled value, canonical id): the exact scheduler re-indexes jobs by
-    # their rank in the sorted order and breaks value ties by that id, so
-    # the started job ι re-enters the order keyed by its *remaining*
-    # scaled value and canonical id.
-    values: List[Tuple[int, int]] = [
-        (v, rank)
-        for rank, (v, _i) in enumerate(
-            sorted(
-                (r.numerator * (d // r.denominator), i)
-                for i, r in enumerate(reqs)
-            )
-        )
-    ]
-    iota_idx = -1  # index of the started job in `values`, -1 if none
-    steps = 0
-    while values:
-        # ---- window (mirrors UnitSizeScheduler._window) ----------------
-        if iota_idx >= 0:
-            lo, hi = iota_idx, iota_idx + 1
-            r_w = values[iota_idx][0]
-        else:
-            lo = hi = 0
-            r_w = 0
-        while hi - lo < m and lo > 0 and r_w < B:
-            lo -= 1
-            r_w += values[lo][0]
-        while r_w < B and hi < len(values) and hi - lo < m:
-            r_w += values[hi][0]
-            hi += 1
-        while r_w < B and hi < len(values) and lo != iota_idx:
-            r_w -= values[lo][0]
-            lo += 1
-            r_w += values[hi][0]
-            hi += 1
-        # ---- assignment -------------------------------------------------
-        last_value, last_id = values[hi - 1]
-        others = r_w - last_value
-        last_share = min(B - others, last_value)
-        if last_share <= 0:
-            raise RuntimeError("int window assignment bug")
-        # bulk a lone oversized job
-        count = 1
-        if hi - lo == 1 and last_share == B:
-            count = max(last_value // B, 1)
-        steps += count
-        rem = last_value - count * last_share
-        del values[lo:hi]
-        if rem > 0:
-            entry = (rem, last_id)
-            iota_idx = bisect_left(values, entry)
-            values.insert(iota_idx, entry)
-        else:
-            iota_idx = -1
-    return steps
+    return _engine.unit_makespan(reqs, m, b, backend="int")
 
 
 def int_pack_bins(

@@ -26,6 +26,7 @@ from typing import Dict, List, Protocol
 from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..core.state import SchedulerState
+from ..engine.loop import StepDecision, run_loop
 
 
 class PolicyViolation(RuntimeError):
@@ -69,25 +70,36 @@ class SimulationEngine:
 
     def run(self) -> SimulationResult:
         state = SchedulerState(self.instance)
+        state.trace = []  # record vetted steps for the Schedule
+        engine = self
+
+        class _VettedPolicy:
+            """Adapter: vet the wrapped policy's raw shares each step."""
+
+            def decide(self, st: SchedulerState) -> StepDecision:
+                shares = engine._vet(st, engine.policy.decide(st))
+                return StepDecision(shares=shares)
+
+        run_loop(
+            state,
+            _VettedPolicy(),
+            self.max_steps,
+            lambda: PolicyViolation(
+                f"no completion within max_steps={self.max_steps}"
+            ),
+        )
         schedule = Schedule(instance=self.instance)
-        completion: Dict[int, int] = {}
-        t = 0
-        while state.n_unfinished() > 0:
-            t += 1
-            if t > self.max_steps:
-                raise PolicyViolation(
-                    f"no completion within max_steps={self.max_steps}"
-                )
-            raw = self.policy.decide(state)
-            shares = self._vet(state, raw)
-            pieces = {}
-            for job_id, share in shares.items():
-                pieces[job_id] = (state.processor_for(job_id), share)
-            schedule.append_step(pieces)
-            finished = state.apply_step(shares)
-            for j in finished:
-                completion[j] = t
-        return SimulationResult(schedule=schedule, completion_times=completion)
+        for shares, procs, count, _case, _window in state.trace:
+            pieces = {
+                job_id: (procs[job_id], share)
+                for job_id, share in shares.items()
+            }
+            for _ in range(count):
+                schedule.append_step(pieces)
+        return SimulationResult(
+            schedule=schedule,
+            completion_times=dict(state.completion_times),
+        )
 
     # ------------------------------------------------------------------
 

@@ -1,13 +1,40 @@
-"""Schedule-level metrics for analysis and experiments."""
+"""Schedule-level metrics for analysis and experiments.
+
+All entry points accept either a materialized
+:class:`~repro.core.schedule.Schedule` or any result exposing the
+canonical trace protocol (``iter_steps()`` + ``completion_times`` +
+``makespan``, e.g. :class:`~repro.engine.trace.SRJResult`).  Results are
+consumed step-by-step off the run-length-encoded trace, so metrics for a
+10^6-step schedule never require expanding it.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, Iterator, List
 
-from ..core.schedule import Schedule
-from ..numeric import frac_sum
+
+def _step_utilization_and_width(schedule_or_result) -> Iterator[tuple]:
+    """Yield ``(total_share, n_jobs)`` per time step for either input kind."""
+    obj = schedule_or_result
+    if hasattr(obj, "iter_steps"):
+        for step in obj.iter_steps():
+            yield (
+                float(sum(share for _p, share in step.values())),
+                len(step),
+            )
+    else:
+        for step in obj.steps:
+            yield float(step.total_share()), len(step.pieces)
+
+
+def _finished_completions(schedule_or_result) -> List[int]:
+    obj = schedule_or_result
+    if hasattr(obj, "iter_steps"):
+        completion = obj.completion_times
+    else:
+        completion = obj.completion_times()
+    return [t for t in completion.values() if t is not None]
 
 
 @dataclass
@@ -23,41 +50,41 @@ class ScheduleMetrics:
     max_completion_time: int
 
     @classmethod
-    def from_schedule(cls, schedule: Schedule) -> "ScheduleMetrics":
-        steps = schedule.steps
-        if not steps:
+    def from_schedule(cls, schedule_or_result) -> "ScheduleMetrics":
+        rows = list(_step_utilization_and_width(schedule_or_result))
+        if not rows:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
-        utils = [float(s.total_share()) for s in steps]
-        completion = schedule.completion_times()
-        finished = [t for t in completion.values() if t is not None]
+        utils = [u for u, _w in rows]
+        finished = _finished_completions(schedule_or_result)
         return cls(
-            makespan=len(steps),
+            makespan=len(rows),
             avg_utilization=sum(utils) / len(utils),
             min_utilization=min(utils),
             total_waste=sum(max(0.0, 1.0 - u) for u in utils),
-            avg_jobs_per_step=sum(len(s.pieces) for s in steps) / len(steps),
+            avg_jobs_per_step=sum(w for _u, w in rows) / len(rows),
             avg_completion_time=(
                 sum(finished) / len(finished) if finished else 0.0
             ),
             max_completion_time=max(finished) if finished else 0,
         )
 
+    # the canonical-trace spelling; same computation either way
+    from_result = from_schedule
 
-def utilization_profile(schedule: Schedule) -> list:
+
+def utilization_profile(schedule_or_result) -> list:
     """Per-step resource utilization as floats (for plotting/inspection)."""
-    return [float(s.total_share()) for s in schedule.steps]
+    return [u for u, _w in _step_utilization_and_width(schedule_or_result)]
 
 
 def completion_histogram(
-    schedule: Schedule, bucket: int = 1
+    schedule_or_result, bucket: int = 1
 ) -> Dict[int, int]:
     """Histogram of completion times, bucketed."""
     if bucket < 1:
         raise ValueError("bucket must be >= 1")
     hist: Dict[int, int] = {}
-    for t in schedule.completion_times().values():
-        if t is None:
-            continue
+    for t in _finished_completions(schedule_or_result):
         key = (t - 1) // bucket
         hist[key] = hist.get(key, 0) + 1
     return hist

@@ -21,7 +21,7 @@ from .partition import (
     light_allotment,
     partition_tasks,
 )
-from .scheduler import schedule_tasks
+from .scheduler import schedule_tasks, solve_srt
 from .sequential import SequentialResult, StepRecord, run_sequential
 from .exact import solve_srt_exact
 from .validate import validate_task_schedule
@@ -31,6 +31,7 @@ __all__ = [
     "TaskInstance",
     "TaskScheduleResult",
     "schedule_tasks",
+    "solve_srt",
     "run_sequential",
     "SequentialResult",
     "StepRecord",

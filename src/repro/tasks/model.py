@@ -37,8 +37,12 @@ class Task:
         return len(self.requirements)
 
     def total_requirement(self) -> Fraction:
-        """``r(T) = Σ_{j∈T} r_j``."""
-        return frac_sum(self.requirements)
+        """``r(T) = Σ_{j∈T} r_j`` (cached; the instance is immutable)."""
+        cached = self.__dict__.get("_total_requirement")
+        if cached is None:
+            cached = frac_sum(self.requirements)
+            object.__setattr__(self, "_total_requirement", cached)
+        return cached
 
     def average_requirement(self) -> Fraction:
         """``r(T) / |T|`` — the partition key of Section 4.2."""

@@ -28,9 +28,16 @@ from .sequential import SequentialResult, run_sequential
 
 
 def schedule_tasks(
-    instance: TaskInstance, record_steps: bool = False
+    instance: TaskInstance,
+    record_steps: bool = False,
+    backend: str = "auto",
 ) -> TaskScheduleResult:
-    """Run the Theorem 4.8 algorithm on *instance*."""
+    """Run the Theorem 4.8 algorithm on *instance*.
+
+    ``backend`` selects the engine's numeric backend (``"auto"``/``"int"``
+    run on LCM-rescaled integers, ``"fraction"`` on exact rationals; the
+    results are bit-identical).
+    """
     m = instance.m
     if not instance.tasks:
         return TaskScheduleResult(
@@ -44,7 +51,8 @@ def schedule_tasks(
             instance.tasks, key=lambda t: (t.total_requirement(), t.id)
         )
         res = run_sequential(
-            ordered, m, Fraction(1), record_steps=record_steps
+            ordered, m, Fraction(1), record_steps=record_steps,
+            backend=backend,
         )
         return TaskScheduleResult(
             instance=instance,
@@ -63,7 +71,8 @@ def schedule_tasks(
             heavy, key=lambda t: (t.total_requirement(), t.id)
         )
         heavy_result = run_sequential(
-            heavy_sorted, m1, r1, record_steps=record_steps
+            heavy_sorted, m1, r1, record_steps=record_steps,
+            backend=backend,
         )
         completion.update(heavy_result.completion_times)
         makespan = max(makespan, heavy_result.makespan)
@@ -71,7 +80,8 @@ def schedule_tasks(
         m2, r2 = light_allotment(m)
         light_sorted = sorted(light, key=lambda t: (t.n_jobs, t.id))
         light_result = run_sequential(
-            light_sorted, m2, r2, record_steps=record_steps
+            light_sorted, m2, r2, record_steps=record_steps,
+            backend=backend,
         )
         completion.update(light_result.completion_times)
         makespan = max(makespan, light_result.makespan)
@@ -85,3 +95,16 @@ def schedule_tasks(
     result.heavy_result = heavy_result  # type: ignore[attr-defined]
     result.light_result = light_result  # type: ignore[attr-defined]
     return result
+
+
+def solve_srt(
+    instance: TaskInstance,
+    backend: str = "auto",
+    record_steps: bool = False,
+) -> TaskScheduleResult:
+    """Backend-selectable SRT entry point (alias of :func:`schedule_tasks`
+    with the backend argument first, mirroring :func:`repro.perf.solve_srj`).
+    """
+    return schedule_tasks(
+        instance, record_steps=record_steps, backend=backend
+    )

@@ -22,49 +22,25 @@ Per time step the engine
 The paper's printed Listing 3 body is corrupted in the available text; this
 reconstruction is derived from Lemma 4.1/4.2's proofs (see DESIGN.md §2) and
 is validated against those lemmas' completion-time bounds in the test suite.
+
+The step loop lives in :mod:`repro.engine`
+(:class:`~repro.engine.policies.SequentialTaskPolicy`); this module adapts
+task models to it and selects the numeric backend (``backend="int"``/
+``"auto"`` runs the whole engine on LCM-rescaled integers, bit-identical).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+from ..engine import api as _engine
 from ..numeric import frac_sum
 from .model import Task
 
 #: global job key: (task id, job index within task)
 JobKey = Tuple[int, int]
-
-
-@dataclass
-class _TaskState:
-    """Remaining jobs of one task, in the unit-algorithm virtual order."""
-
-    task: Task
-    #: (current value, job index), sorted ascending; started job tracked
-    order: List[Tuple[Fraction, int]] = field(default_factory=list)
-    iota: Optional[int] = None  # job index of the started job, if any
-
-    def __post_init__(self) -> None:
-        if not self.order:
-            self.order = sorted(
-                (r, i) for i, r in enumerate(self.task.requirements)
-            )
-
-    def remaining_requirement(self) -> Fraction:
-        return frac_sum(v for v, _ in self.order)
-
-    def remaining_count(self) -> int:
-        return len(self.order)
-
-    def iota_position(self) -> Optional[int]:
-        if self.iota is None:
-            return None
-        for pos, (_, idx) in enumerate(self.order):
-            if idx == self.iota:
-                return pos
-        raise RuntimeError("started job lost from task order")
 
 
 @dataclass
@@ -94,142 +70,24 @@ def run_sequential(
     m: int,
     budget: Fraction,
     record_steps: bool = True,
+    backend: str = "auto",
 ) -> SequentialResult:
     """Run the engine over *tasks* in the given order with *m* processors
     and per-step resource *budget*."""
-    if m < 1:
-        raise ValueError("m must be >= 1")
-    if budget <= 0:
-        raise ValueError("budget must be positive")
-    states = [_TaskState(task=t) for t in tasks]
-    completion: Dict[int, int] = {}
+    completion, makespan, raw_steps = _engine.run_sequential_tasks(
+        tasks, m, budget, record_steps=record_steps, backend=backend
+    )
     steps: List[StepRecord] = []
-    cur = 0
-    t = 0
-    guard_limit = 4 * sum(s.task.n_jobs for s in states) + 16
-    # a job can take many steps if its requirement exceeds the budget:
-    guard_limit += 4 * sum(
-        int(max(r / budget, 1)) for s in states for r in s.task.requirements
-    )
-    while cur < len(states):
-        t += 1
-        if t > guard_limit:
-            raise RuntimeError("sequential engine exceeded iteration cap")
-        avail = budget
-        procs = m
-        shares: Dict[JobKey, Fraction] = {}
-        packed: List[int] = []
-        # ---- phase A: pack whole tasks -------------------------------
-        while cur < len(states):
-            st = states[cur]
-            need = st.remaining_requirement()
-            count = st.remaining_count()
-            if need <= avail and count <= procs:
-                for value, idx in st.order:
-                    shares[(st.task.id, idx)] = value
-                avail -= need
-                procs -= count
-                completion[st.task.id] = t
-                packed.append(st.task.id)
-                st.order = []
-                st.iota = None
-                cur += 1
-            else:
-                break
-        # ---- phase B: sliding window on the current task -------------
-        if cur < len(states) and procs >= 1 and avail > 0:
-            st = states[cur]
-            window, start = _unit_window(st, procs, avail)
-            if window:
-                others = frac_sum(v for v, _ in window[:-1])
-                for value, idx in window[:-1]:
-                    shares[(st.task.id, idx)] = value
-                last_value, last_idx = window[-1]
-                last_share = min(avail - others, last_value)
-                if last_share > 0:
-                    shares[(st.task.id, last_idx)] = last_share
-                    new_rem = last_value - last_share
-                else:
-                    # degenerate tie: max W gets nothing; it must be
-                    # unstarted (the started job is never starved)
-                    if st.iota == last_idx:
-                        raise RuntimeError(
-                            "started job starved — engine invariant broken"
-                        )
-                    new_rem = last_value
-                    window = window[:-1]
-                # remove window jobs from the order, re-insert ι
-                served = {idx for _, idx in window}
-                st.order = [
-                    (v, i) for v, i in st.order if i not in served
-                ]
-                if new_rem > 0 and last_share > 0:
-                    st.iota = last_idx
-                    _insert_sorted(st.order, (new_rem, last_idx))
-                else:
-                    if st.iota in served:
-                        st.iota = None
-                    if last_share > 0 and new_rem <= 0:
-                        pass  # max W finished cleanly
-                if not st.order:
-                    completion[st.task.id] = t
-                    st.iota = None
-                    cur += 1
-        if record_steps:
-            steps.append(
-                StepRecord(
-                    shares=shares,
-                    resource_used=frac_sum(shares.values()),
-                    processors_used=len(shares),
-                    tasks_packed=packed,
-                )
+    if raw_steps is not None:
+        steps = [
+            StepRecord(
+                shares=shares,
+                resource_used=frac_sum(shares.values()),
+                processors_used=len(shares),
+                tasks_packed=packed,
             )
-        if not shares:
-            raise RuntimeError(
-                "engine made no progress with unfinished tasks remaining"
-            )
+            for shares, packed in raw_steps
+        ]
     return SequentialResult(
-        completion_times=completion, makespan=t, steps=steps
+        completion_times=completion, makespan=makespan, steps=steps
     )
-
-
-def _insert_sorted(
-    order: List[Tuple[Fraction, int]], entry: Tuple[Fraction, int]
-) -> None:
-    from bisect import insort
-
-    insort(order, entry)
-
-
-def _unit_window(
-    st: _TaskState, size: int, budget: Fraction
-) -> Tuple[List[Tuple[Fraction, int]], int]:
-    """m-maximal window over the task's virtual order (cf. unit.py):
-    seed at ι (or the left border), grow left, grow right, move right
-    while the leftmost entry is unstarted."""
-    order = st.order
-    if not order:
-        return [], 0
-    iota_pos = st.iota_position()
-    if iota_pos is not None:
-        lo, hi = iota_pos, iota_pos + 1
-        r_w = order[iota_pos][0]
-    else:
-        lo = hi = 0
-        r_w = Fraction(0)
-    while hi - lo < size and lo > 0 and r_w < budget:
-        lo -= 1
-        r_w += order[lo][0]
-    while r_w < budget and hi < len(order) and hi - lo < size:
-        r_w += order[hi][0]
-        hi += 1
-    while (
-        r_w < budget
-        and hi < len(order)
-        and (st.iota is None or order[lo][1] != st.iota)
-    ):
-        r_w -= order[lo][0]
-        lo += 1
-        r_w += order[hi][0]
-        hi += 1
-    return order[lo:hi], lo
