@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-srt perf-check lint-hotpath check
+.PHONY: test bench-smoke bench bench-srt bench-obs obs-smoke perf-check lint-hotpath check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,18 @@ bench:
 bench-srt:
 	$(PYTHON) -m repro.perf.bench_srt --scale small -o BENCH_2.json
 
+bench-obs:
+	$(PYTHON) -m repro.perf.bench_obs --scale small -o BENCH_3.json
+
+# observability gates: observer overhead (BENCH_3.json; no-op <= 5%,
+# full stats <= 30%) plus a stats-CLI toy run whose observer/result
+# cross-check must agree (non-zero exit on mismatch)
+obs-smoke:
+	REPRO_BENCH_SCALE=small $(PYTHON) -m pytest \
+		benchmarks/bench_obs_overhead.py -q
+	$(PYTHON) -m repro stats -m 6 -n 40 --backend int --json > /dev/null
+	@echo "obs-smoke: OK"
+
 # the int backend must spend < 10% of its profiled time in fractions.*
 perf-check:
 	$(PYTHON) -m repro.analysis.profiling
@@ -33,4 +45,4 @@ lint-hotpath:
 		|| (echo "lint-hotpath: exact-rational arithmetic found in engine hot path" && exit 1)
 	@echo "lint-hotpath: OK"
 
-check: test lint-hotpath perf-check bench-smoke
+check: test lint-hotpath perf-check bench-smoke obs-smoke

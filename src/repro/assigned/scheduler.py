@@ -43,6 +43,8 @@ class AssignedResult:
     completion_times: Dict[JobKey, int]
     #: per-step resource utilization
     utilization: List[Fraction] = field(default_factory=list)
+    #: metrics accumulated by ``collect_stats=True`` (else ``None``)
+    stats: object = field(default=None, repr=False, compare=False)
 
     def total_waste(self) -> Fraction:
         return frac_sum(Fraction(1) - u for u in self.utilization)
@@ -57,17 +59,29 @@ def schedule_assigned(
     budget: Fraction = Fraction(1),
     max_steps: int = 10_000_000,
     backend: str = "auto",
+    observer=None,
+    collect_stats: bool = False,
 ) -> AssignedResult:
-    """Run the chosen per-step policy to completion."""
+    """Run the chosen per-step policy to completion.
+
+    ``observer=`` / ``collect_stats=`` install telemetry (see
+    :mod:`repro.obs`); ``collect_stats=True`` attaches the metrics
+    registry as ``result.stats``.
+    """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; have {POLICIES}")
     if budget <= 0:
         raise ValueError("budget must be positive")
+    from ..obs import setup_observer
+
+    obs, metrics = setup_observer(observer, collect_stats, env=False)
     makespan, completion, utilization = _engine.run_assigned(
-        instance, policy, budget, max_steps=max_steps, backend=backend
+        instance, policy, budget, max_steps=max_steps, backend=backend,
+        observer=obs,
     )
     return AssignedResult(
         makespan=makespan,
         completion_times=completion,
         utilization=utilization,
+        stats=metrics,
     )

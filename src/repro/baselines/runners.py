@@ -12,23 +12,35 @@ from ..simulator.policies import (
 
 
 def schedule_list_scheduling(
-    instance: Instance, order: str = "input"
+    instance: Instance, order: str = "input", observer=None,
+    collect_stats: bool = False,
 ) -> SimulationResult:
     """Garey–Graham list scheduling (full-requirement allocations)."""
     return SimulationEngine(
-        instance, ListSchedulingPolicy(order=order)
+        instance, ListSchedulingPolicy(order=order), observer=observer,
+        collect_stats=collect_stats,
     ).run()
 
 
-def schedule_greedy_fill(instance: Instance) -> SimulationResult:
+def schedule_greedy_fill(
+    instance: Instance, observer=None, collect_stats: bool = False
+) -> SimulationResult:
     """Largest-requirement-first greedy without splitting."""
-    return SimulationEngine(instance, GreedyFillPolicy()).run()
+    return SimulationEngine(
+        instance, GreedyFillPolicy(), observer=observer,
+        collect_stats=collect_stats,
+    ).run()
 
 
-def schedule_window_via_engine(instance: Instance) -> SimulationResult:
+def schedule_window_via_engine(
+    instance: Instance, observer=None, collect_stats: bool = False
+) -> SimulationResult:
     """The paper's algorithm run step-exactly through the engine — used to
     cross-validate the optimized scheduler."""
-    return SimulationEngine(instance, SlidingWindowPolicy()).run()
+    return SimulationEngine(
+        instance, SlidingWindowPolicy(), observer=observer,
+        collect_stats=collect_stats,
+    ).run()
 
 
 BASELINES = {

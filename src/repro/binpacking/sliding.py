@@ -15,11 +15,15 @@ from .packing import Packing
 from .reduction import items_to_instance, result_to_packing
 
 
-def pack_sliding_window(items: Sequence[Item], k: int) -> Packing:
+def pack_sliding_window(
+    items: Sequence[Item], k: int, backend: str = "fraction"
+) -> Packing:
     """Pack *items* into unit bins with cardinality constraint *k*.
 
     Returns a valid :class:`Packing`; the number of bins is at most
-    ``(1 + 1/(k-1))·OPT + O(1)``.
+    ``(1 + 1/(k-1))·OPT + O(1)``.  ``backend`` selects the numeric backend
+    of the underlying unit-size scheduler (``"int"``/``"auto"`` run the
+    bit-identical scaled-integer fast path).
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -40,5 +44,5 @@ def pack_sliding_window(items: Sequence[Item], k: int) -> Packing:
                 remaining -= part
         return packing
     instance = items_to_instance(items, k)
-    result = UnitSizeScheduler(instance).run()
+    result = UnitSizeScheduler(instance, backend=backend).run()
     return result_to_packing(items, k, result)

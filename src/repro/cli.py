@@ -10,7 +10,14 @@ Subcommands
 * ``generate`` — write a workload instance as JSON;
 * ``solve`` — read an instance JSON, schedule it (several algorithms),
   optionally print an ASCII Gantt chart and save the schedule JSON;
-* ``validate`` — audit a schedule JSON against an instance JSON.
+* ``validate`` — audit a schedule JSON against an instance JSON;
+* ``stats`` — run a scheduler with telemetry enabled and print the metrics
+  registry (per-case step counts, waste, saturation fractions, phase
+  timings), cross-checked against the result's own counters.
+
+``solve``, ``srj``, ``tasks`` and ``stats`` accept ``--trace-out FILE`` to
+emit a structured JSONL trace (one record per RLE trace run); the
+``$REPRO_TRACE`` environment variable does the same for any entry point.
 """
 
 from __future__ import annotations
@@ -34,6 +41,21 @@ from .core.instance import Instance
 from .core.scheduler import schedule_srj
 from .tasks import schedule_tasks, srt_lower_bound
 from .workloads import make_instance, make_taskset, uniform_fractions
+
+
+def _open_trace(args: argparse.Namespace):
+    """Build the ``--trace-out`` JSONL observer, or ``None``."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from .obs import JsonlTraceObserver
+
+    return JsonlTraceObserver(args.trace_out)
+
+
+def _close_trace(tracer) -> None:
+    if tracer is not None:
+        tracer.close()
+        print(f"wrote JSONL trace to {tracer.path}")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -61,7 +83,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_srj(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     inst = make_instance(args.family, rng, args.m, args.n)
-    result = schedule_srj(inst, backend=args.backend)
+    tracer = _open_trace(args)
+    result = schedule_srj(inst, backend=args.backend, observer=tracer)
+    _close_trace(tracer)
     lb = makespan_lower_bound(inst)
     print(f"family={args.family} m={args.m} n={args.n} seed={args.seed}")
     print(f"makespan={result.makespan}  LB={lb}  ratio={result.makespan/lb:.4f}")
@@ -76,7 +100,7 @@ def _cmd_binpack(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     items = make_items(uniform_fractions(rng, args.n, hi=Fraction(6, 5)))
     lb = packing_lower_bound(items, args.k)
-    sw = pack_sliding_window(items, args.k)
+    sw = pack_sliding_window(items, args.k, backend=args.backend)
     nf = pack_next_fit(items, args.k)
     print(f"n={args.n} k={args.k} LB={lb}")
     print(f"sliding window: {sw.num_bins} bins ({sw.num_bins/lb:.4f}x LB)")
@@ -87,7 +111,9 @@ def _cmd_binpack(args: argparse.Namespace) -> int:
 def _cmd_tasks(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     ti = make_taskset(args.family, rng, args.m, args.k)
-    res = schedule_tasks(ti, backend=args.backend)
+    tracer = _open_trace(args)
+    res = schedule_tasks(ti, backend=args.backend, observer=tracer)
+    _close_trace(tracer)
     lb = srt_lower_bound(ti)
     s = res.sum_completion_times()
     print(f"family={args.family} m={args.m} tasks={args.k} jobs={ti.n_jobs}")
@@ -149,25 +175,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     with open(args.input) as fh:
         inst = instance_from_json(fh.read())
+    tracer = _open_trace(args)
     # window/unit return trace-bearing results that render without
     # materializing a Schedule; the simulator baselines return Schedules.
     renderable = None
     if args.algorithm == "window":
-        renderable = schedule_srj(inst, backend=args.backend)
+        renderable = schedule_srj(inst, backend=args.backend, observer=tracer)
     elif args.algorithm == "unit":
         from .core.unit import schedule_unit
 
-        renderable = schedule_unit(inst, backend=args.backend)
+        renderable = schedule_unit(inst, backend=args.backend, observer=tracer)
     elif args.algorithm == "list":
         from .baselines import schedule_list_scheduling
 
-        renderable = schedule_list_scheduling(inst).schedule
+        renderable = schedule_list_scheduling(inst, observer=tracer).schedule
     elif args.algorithm == "greedy":
         from .baselines import schedule_greedy_fill
 
-        renderable = schedule_greedy_fill(inst).schedule
+        renderable = schedule_greedy_fill(inst, observer=tracer).schedule
     else:  # pragma: no cover - argparse choices guard this
         raise ValueError(args.algorithm)
+    _close_trace(tracer)
     lb = makespan_lower_bound(inst)
     print(
         f"algorithm={args.algorithm} makespan={renderable.makespan} LB={lb} "
@@ -203,6 +231,111 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     for v in report.violations[:50]:
         print(f"  {v}")
     return 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .core.validate import validate_result
+    from .obs import StatsObserver
+
+    if args.input:
+        from .io import instance_from_json
+
+        with open(args.input) as fh:
+            inst = instance_from_json(fh.read())
+        source = f"input={args.input}"
+    else:
+        rng = random.Random(args.seed)
+        inst = make_instance(args.family, rng, args.m, args.n)
+        source = (
+            f"family={args.family} m={args.m} n={args.n} seed={args.seed}"
+        )
+    tracer = _open_trace(args)
+    if args.algorithm == "window":
+        result = schedule_srj(
+            inst, backend=args.backend, observer=tracer, collect_stats=True
+        )
+    else:
+        from .core.unit import schedule_unit
+
+        result = schedule_unit(
+            inst, backend=args.backend, observer=tracer, collect_stats=True
+        )
+    metrics = result.stats
+    # the validate phase feeds its span into the same registry
+    report = validate_result(result, observer=StatsObserver(metrics))
+    _close_trace(tracer)
+
+    # cross-check the observer's accounting against the result's own
+    mismatches = []
+    for name, got, want in (
+        ("steps_total", metrics.counter("steps_total"), result.makespan),
+        (
+            "steps_full_jobs",
+            metrics.counter("steps_full_jobs"),
+            result.steps_full_jobs,
+        ),
+        (
+            "steps_full_resource",
+            metrics.counter("steps_full_resource"),
+            result.steps_full_resource,
+        ),
+        (
+            "total_waste",
+            Fraction(metrics.counter("total_waste")),
+            result.total_waste,
+        ),
+    ):
+        if got != want:
+            mismatches.append(f"{name}: observer={got} result={want}")
+
+    if args.json:
+        payload = {
+            "source": source,
+            "algorithm": args.algorithm,
+            "backend": args.backend,
+            "makespan": result.makespan,
+            "valid": report.ok,
+            "agreement": not mismatches,
+            "mismatches": mismatches,
+            "metrics": metrics.to_jsonable(),
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{source} algorithm={args.algorithm} backend={args.backend}")
+        print(f"makespan={result.makespan}  schedule valid: "
+              f"{'yes' if report.ok else 'NO'}")
+        steps = metrics.counter("steps_total")
+        print("per-case step counts:")
+        for key in sorted(metrics.counters):
+            if key.startswith("steps_case."):
+                count = metrics.counters[key]
+                frac = count / steps if steps else 0.0
+                print(f"  {key[len('steps_case.'):]:<12} {count:>8}"
+                      f"  ({frac:.1%})")
+        for label, key in (
+            (">=m-2 fully-served jobs", "steps_full_jobs"),
+            ("full resource usage", "steps_full_resource"),
+        ):
+            count = metrics.counter(key)
+            frac = count / steps if steps else 0.0
+            print(f"steps with {label}: {count} ({frac:.1%})")
+        print(f"total waste: {metrics.counter('total_waste')}")
+        print("phase timings (seconds):")
+        for key in sorted(metrics.counters):
+            if key.startswith("span_seconds."):
+                print(f"  {key[len('span_seconds.'):]:<10} "
+                      f"{metrics.counters[key]:.6f}")
+        if mismatches:
+            print("MISMATCH between observer and result:")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print("agreement with scheduler result: OK")
+    if mismatches or not report.ok:
+        return 1
+    return 0
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
@@ -244,6 +377,15 @@ def build_parser() -> argparse.ArgumentParser:
             "selects it)",
         )
 
+    def add_trace_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="FILE",
+            help="write a structured JSONL trace of the run (one record "
+            "per RLE trace run; see also the $REPRO_TRACE env var)",
+        )
+
     p = sub.add_parser("demo", help="schedule a toy instance, print timeline")
     add_backend_flag(p)
     p.set_defaults(func=_cmd_demo)
@@ -254,12 +396,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     add_backend_flag(p)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_srj)
 
     p = sub.add_parser("binpack", help="bin packing with splittable items")
     p.add_argument("-k", type=int, default=4)
     p.add_argument("-n", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
+    add_backend_flag(p)
     p.set_defaults(func=_cmd_binpack)
 
     p = sub.add_parser("tasks", help="run the SRT (Section 4) scheduler")
@@ -268,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
     add_backend_flag(p)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_tasks)
 
     p = sub.add_parser(
@@ -299,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
     add_backend_flag(p)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser(
@@ -307,6 +453,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instance", required=True)
     p.add_argument("--schedule", required=True)
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a scheduler with telemetry and print the metrics "
+        "(cross-checked against the result)",
+    )
+    p.add_argument(
+        "--input", default=None, metavar="FILE",
+        help="instance JSON to schedule (default: generate a workload)",
+    )
+    p.add_argument("--family", default="uniform")
+    p.add_argument("-m", type=int, default=8)
+    p.add_argument("-n", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--algorithm", choices=("window", "unit"), default="window"
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the full registry as JSON instead of the table",
+    )
+    add_backend_flag(p)
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(
         "selftest", help="quick internal consistency battery"

@@ -112,11 +112,22 @@ def schedule_srj(
     instance: Instance,
     accelerate: bool = True,
     backend: str = "fraction",
+    observer=None,
+    collect_stats: bool = False,
 ) -> SRJResult:
     """Convenience wrapper: run Listing 1 on *instance*.
 
     Defaults to the exact-rational backend (this is the reference path the
     property tests compare everything against); pass ``backend="int"`` or
-    ``"auto"`` for the scaled-integer fast path.
+    ``"auto"`` for the scaled-integer fast path.  ``observer=`` /
+    ``collect_stats=`` install telemetry (see :mod:`repro.obs`);
+    ``collect_stats=True`` attaches the metrics registry as
+    ``result.stats``.
     """
-    return _engine.solve_srj(instance, backend=backend, accelerate=accelerate)
+    return _engine.solve_srj(
+        instance,
+        backend=backend,
+        accelerate=accelerate,
+        observer=observer,
+        collect_stats=collect_stats,
+    )

@@ -45,13 +45,30 @@ class UnitSizeScheduler:
         self.budget = Fraction(1)
         self.backend = backend
 
-    def run(self) -> SRJResult:
-        return _engine.run_unit(self.instance, backend=self.backend)
+    def run(self, observer=None, collect_stats: bool = False) -> SRJResult:
+        return _engine.run_unit(
+            self.instance,
+            backend=self.backend,
+            observer=observer,
+            collect_stats=collect_stats,
+        )
 
 
-def schedule_unit(instance: Instance, backend: str = "fraction") -> SRJResult:
-    """Convenience wrapper: run the unit-size algorithm on *instance*."""
-    return UnitSizeScheduler(instance, backend=backend).run()
+def schedule_unit(
+    instance: Instance,
+    backend: str = "fraction",
+    observer=None,
+    collect_stats: bool = False,
+) -> SRJResult:
+    """Convenience wrapper: run the unit-size algorithm on *instance*.
+
+    ``observer=`` / ``collect_stats=`` install telemetry (see
+    :mod:`repro.obs`); ``collect_stats=True`` attaches the metrics
+    registry as ``result.stats``.
+    """
+    return UnitSizeScheduler(instance, backend=backend).run(
+        observer=observer, collect_stats=collect_stats
+    )
 
 
 def unit_guarantee(m: int, opt: int) -> int:

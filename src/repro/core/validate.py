@@ -182,23 +182,28 @@ def validate_result(
     result: "SRJResult",
     budget: Fraction = Fraction(1),
     require_all_finished: bool = True,
+    observer=None,
 ) -> ValidationReport:
     """Check a scheduler result without materializing its schedule.
 
     Streams the RLE trace via
     :meth:`~repro.core.scheduler.SRJResult.iter_steps`, so memory stays
     bounded regardless of the makespan (million-step schedules validate in
-    O(n + m) space).
+    O(n + m) space).  *observer* (a :class:`repro.obs.Observer`) receives
+    a ``validate`` timing span covering the whole check.
     """
-    return _validate_steps(
-        result.instance,
-        (
-            [(jid, proc, share) for jid, (proc, share) in step.items()]
-            for step in result.iter_steps()
-        ),
-        budget,
-        require_all_finished,
-    )
+    from ..obs import span
+
+    with span(observer, "validate"):
+        return _validate_steps(
+            result.instance,
+            (
+                [(jid, proc, share) for jid, (proc, share) in step.items()]
+                for step in result.iter_steps()
+            ),
+            budget,
+            require_all_finished,
+        )
 
 
 def assert_valid(

@@ -15,8 +15,9 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..numeric import ceil_div
+from ..obs import setup_observer, span
 from .backends import make_context, resolve_backend
-from .loop import run_loop
+from .loop import StepDecision, run_loop
 from .policies import (
     AssignedQueuePolicy,
     OnlineListPolicy,
@@ -38,6 +39,33 @@ __all__ = [
     "run_online_list",
     "run_assigned",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Observability plumbing
+# ---------------------------------------------------------------------------
+
+
+def _run_meta(layer: str, ctx, m: int, n_jobs: int) -> Dict:
+    """The ``on_run_start`` metadata for one engine run."""
+    denominator = getattr(ctx, "denominator", 1)
+    return {
+        "layer": layer,
+        "backend": ctx.name,
+        "m": m,
+        "n_jobs": n_jobs,
+        "denominator_bits": denominator.bit_length(),
+    }
+
+
+class _SerialObsState:
+    """Minimal state stand-in for the m = 1 serial path (no engine loop
+    runs there), so observers see the same duck-typed surface."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.t = 0
+        self.processor_of: Dict = {}
 
 
 # ---------------------------------------------------------------------------
@@ -81,6 +109,8 @@ def solve_srj(
     accelerate: bool = True,
     window_size: Optional[int] = None,
     enable_move: bool = True,
+    observer=None,
+    collect_stats: bool = False,
 ) -> SRJResult:
     """Run Listing 1 on *instance* with a selectable numeric backend.
 
@@ -88,18 +118,29 @@ def solve_srj(
     reference domain); ``backend="int"`` on LCM-rescaled integers
     (bit-for-bit identical results, typically an order of magnitude
     faster); ``backend="auto"`` picks the integer backend.
+
+    *observer* receives the run's life-cycle events (see
+    :mod:`repro.obs`); ``collect_stats=True`` additionally installs a
+    :class:`~repro.obs.StatsObserver` and attaches its registry as
+    ``result.stats``.
     """
     resolve_backend(backend)  # validate before any work
+    obs, metrics = setup_observer(observer, collect_stats)
     if instance.m == 1:
-        return run_serial(instance)
-    ctx = make_context(
-        backend, Fraction(1), (job.requirement for job in instance.jobs)
-    )
-    req = {job.id: ctx.scale(job.requirement) for job in instance.jobs}
-    totals = {job.id: job.size * req[job.id] for job in instance.jobs}
-    state = EngineState(
-        instance.m, ctx, req, totals, record_trace=True
-    )
+        result = run_serial(instance, observer=obs)
+        result.stats = metrics
+        return result
+    with span(obs, "scale"):
+        ctx = make_context(
+            backend, Fraction(1), (job.requirement for job in instance.jobs)
+        )
+        req = {job.id: ctx.scale(job.requirement) for job in instance.jobs}
+        totals = {job.id: job.size * req[job.id] for job in instance.jobs}
+        state = EngineState(
+            instance.m, ctx, req, totals, record_trace=True
+        )
+    if obs is not None:
+        obs.on_run_start(_run_meta("srj", ctx, instance.m, instance.n))
     policy = SlidingWindowPolicy(
         budget=ctx.scale(Fraction(1)),
         size=(
@@ -118,21 +159,71 @@ def solve_srj(
     else:
         total_steps = sum(job.size for job in instance.jobs)
         max_iters = 4 * total_steps * max(2, instance.n) + 64
-    run_loop(
-        state,
-        policy,
-        max_iters,
-        lambda: RuntimeError(
-            "scheduler exceeded iteration cap — non-termination bug"
-        ),
-    )
-    return _build_srj_result(instance, state)
+    with span(obs, "loop"):
+        run_loop(
+            state,
+            policy,
+            max_iters,
+            lambda: RuntimeError(
+                "scheduler exceeded iteration cap — non-termination bug"
+            ),
+            observer=obs,
+        )
+    with span(obs, "emit"):
+        result = _build_srj_result(instance, state)
+    if obs is not None:
+        obs.on_run_end(state, _srj_summary("srj", result))
+    result.stats = metrics
+    return result
 
 
-def run_serial(instance) -> SRJResult:
+def _srj_summary(layer: str, result: SRJResult) -> Dict:
+    """The ``on_run_end`` summary for entry points emitting SRJResults."""
+    return {
+        "layer": layer,
+        "makespan": result.makespan,
+        "trace_runs": len(result.trace),
+        "steps_full_jobs": result.steps_full_jobs,
+        "steps_full_resource": result.steps_full_resource,
+        "total_waste": str(result.total_waste),
+    }
+
+
+def run_serial(instance, observer=None) -> SRJResult:
     """Trivial optimal scheduler for m = 1: run jobs one at a time, each
-    receiving ``min(r_j, 1)`` per step."""
+    receiving ``min(r_j, 1)`` per step.
+
+    This path never enters the engine loop; when an *observer* is
+    installed it receives one synthetic decision per emitted trace run so
+    downstream telemetry (stats, JSONL traces) stays uniform.
+    """
     result = SRJResult(instance=instance, makespan=0, completion_times={})
+    obs_state = None
+    if observer is not None:
+        from .backends.fraction import FractionContext
+
+        obs_state = _SerialObsState(FractionContext())
+        observer.on_run_start(
+            _run_meta("srj-serial", obs_state.ctx, instance.m, instance.n)
+        )
+
+    def emit(run: TraceRun) -> None:
+        result.trace.append(run)
+        if obs_state is None:
+            return
+        obs_state.t += run.count
+        obs_state.processor_of.update(run.processors)
+        observer.on_decision(
+            obs_state,
+            StepDecision(
+                shares=run.shares,
+                count=run.count,
+                case=run.case,
+                window=run.window,
+                full_jobs_step=True,
+            ),
+        )
+
     t = 0
     for job in instance.jobs:
         share = min(job.requirement, Fraction(1))
@@ -140,7 +231,7 @@ def run_serial(instance) -> SRJResult:
         full_steps = steps - 1
         rem_last = job.total_requirement - full_steps * share
         if full_steps > 0:
-            result.trace.append(
+            emit(
                 TraceRun(
                     shares={job.id: share},
                     processors={job.id: 0},
@@ -149,7 +240,7 @@ def run_serial(instance) -> SRJResult:
                     window=[job.id],
                 )
             )
-        result.trace.append(
+        emit(
             TraceRun(
                 shares={job.id: rem_last},
                 processors={job.id: 0},
@@ -162,6 +253,8 @@ def run_serial(instance) -> SRJResult:
         result.completion_times[job.id] = t
         result.steps_full_jobs += steps
     result.makespan = t
+    if obs_state is not None:
+        observer.on_run_end(obs_state, _srj_summary("srj-serial", result))
     return result
 
 
@@ -170,27 +263,46 @@ def run_serial(instance) -> SRJResult:
 # ---------------------------------------------------------------------------
 
 
-def run_unit(instance, backend: str = "auto") -> SRJResult:
+def run_unit(
+    instance,
+    backend: str = "auto",
+    observer=None,
+    collect_stats: bool = False,
+) -> SRJResult:
     """Run the unit-size m-maximal-window algorithm on *instance* (all
-    ``p_j = 1``; the front-end validates)."""
+    ``p_j = 1``; the front-end validates).
+
+    ``observer=`` / ``collect_stats=`` as in :func:`solve_srj`.
+    """
     resolve_backend(backend)
-    ctx = make_context(
-        backend, Fraction(1), (job.requirement for job in instance.jobs)
-    )
-    req = {job.id: ctx.scale(job.requirement) for job in instance.jobs}
-    state = EngineState(instance.m, ctx, req, req, record_trace=True)
+    obs, metrics = setup_observer(observer, collect_stats)
+    with span(obs, "scale"):
+        ctx = make_context(
+            backend, Fraction(1), (job.requirement for job in instance.jobs)
+        )
+        req = {job.id: ctx.scale(job.requirement) for job in instance.jobs}
+        state = EngineState(instance.m, ctx, req, req, record_trace=True)
+    if obs is not None:
+        obs.on_run_start(_run_meta("unit", ctx, instance.m, instance.n))
     order = sorted((value, job_id) for job_id, value in req.items())
     policy = UnitWindowPolicy(budget=ctx.scale(Fraction(1)), order=order)
     # every job needs at most a bulk run plus two finishing decisions
-    run_loop(
-        state,
-        policy,
-        8 * instance.n + 32,
-        lambda: RuntimeError(
-            "unit scheduler exceeded iteration cap — non-termination bug"
-        ),
-    )
-    return _build_srj_result(instance, state)
+    with span(obs, "loop"):
+        run_loop(
+            state,
+            policy,
+            8 * instance.n + 32,
+            lambda: RuntimeError(
+                "unit scheduler exceeded iteration cap — non-termination bug"
+            ),
+            observer=obs,
+        )
+    with span(obs, "emit"):
+        result = _build_srj_result(instance, state)
+    if obs is not None:
+        obs.on_run_end(state, _srj_summary("unit", result))
+    result.stats = metrics
+    return result
 
 
 def unit_makespan(
@@ -238,27 +350,34 @@ def run_sequential_tasks(
     budget: Fraction,
     record_steps: bool = True,
     backend: str = "auto",
+    observer=None,
 ) -> Tuple[Dict, int, Optional[List]]:
     """Run the Listing-3/4 sequential engine over *tasks* in order.
 
     Returns ``(task_completion_times, makespan, steps)`` where *steps* is
     ``None`` when ``record_steps`` is off and otherwise a list of
     ``(shares, tasks_packed)`` pairs per step with exact-valued shares
-    keyed by ``(task_id, job_index)``.
+    keyed by ``(task_id, job_index)``.  *observer* receives the run's
+    life-cycle events (stats composition happens in the task front-end,
+    which may share one observer across the heavy and light half-runs).
     """
     if m < 1:
         raise ValueError("m must be >= 1")
     if budget <= 0:
         raise ValueError("budget must be positive")
     resolve_backend(backend)
-    all_reqs = [r for task in tasks for r in task.requirements]
-    ctx = make_context(backend, budget, all_reqs)
-    req = {
-        (task.id, i): ctx.scale(r)
-        for task in tasks
-        for i, r in enumerate(task.requirements)
-    }
-    state = EngineState(m, ctx, req, req, record_trace=record_steps)
+    obs, _ = setup_observer(observer)
+    with span(obs, "scale"):
+        all_reqs = [r for task in tasks for r in task.requirements]
+        ctx = make_context(backend, budget, all_reqs)
+        req = {
+            (task.id, i): ctx.scale(r)
+            for task in tasks
+            for i, r in enumerate(task.requirements)
+        }
+        state = EngineState(m, ctx, req, req, record_trace=record_steps)
+    if obs is not None:
+        obs.on_run_start(_run_meta("sequential-tasks", ctx, m, len(req)))
     orders = [
         sorted(
             (req[(task.id, i)], i)
@@ -279,22 +398,31 @@ def run_sequential_tasks(
     guard_limit += 4 * sum(
         max(v // scaled_budget, 1) for v in req.values()
     )
-    run_loop(
-        state,
-        policy,
-        guard_limit,
-        lambda: RuntimeError("sequential engine exceeded iteration cap"),
-    )
+    with span(obs, "loop"):
+        run_loop(
+            state,
+            policy,
+            guard_limit,
+            lambda: RuntimeError("sequential engine exceeded iteration cap"),
+            observer=obs,
+        )
     steps: Optional[List] = None
-    if record_steps:
-        conv = ctx.to_fraction
-        steps = [
-            (
-                {key: Fraction(conv(v)) for key, v in shares.items()},
-                packed,
-            )
-            for shares, _procs, _count, _case, packed in state.trace
-        ]
+    with span(obs, "emit"):
+        if record_steps:
+            conv = ctx.to_fraction
+            steps = [
+                (
+                    {key: Fraction(conv(v)) for key, v in shares.items()},
+                    packed,
+                )
+                for shares, _procs, _count, _case, packed in state.trace
+            ]
+    if obs is not None:
+        obs.on_run_end(
+            state,
+            {"layer": "sequential-tasks", "makespan": state.t,
+             "tasks": len(policy.completion)},
+        )
     return dict(policy.completion), state.t, steps
 
 
@@ -316,11 +444,41 @@ def _online_state(
     )
 
 
+def _run_online_policy(
+    offline, make_policy, layer: str, max_steps: int, backend: str, observer
+) -> Tuple[int, Dict[int, int], List[Fraction]]:
+    """Shared driver of the two online entry points."""
+    resolve_backend(backend)
+    obs, _ = setup_observer(observer)
+    with span(obs, "scale"):
+        state = _online_state(offline, backend)
+    if obs is not None:
+        obs.on_run_start(
+            _run_meta(layer, state.ctx, offline.m, len(offline.jobs))
+        )
+    policy = make_policy(state)
+    with span(obs, "loop"):
+        run_loop(
+            state,
+            policy,
+            max_steps,
+            lambda: RuntimeError(f"{layer} scheduler exceeded max_steps"),
+            observer=obs,
+        )
+    with span(obs, "emit"):
+        conv = state.ctx.to_fraction
+        utilization = [Fraction(conv(u)) for u in state.utilization]
+    if obs is not None:
+        obs.on_run_end(state, {"layer": layer, "makespan": state.t})
+    return state.t, dict(state.completion_times), utilization
+
+
 def run_online(
     offline,
     release_of: Dict[int, int],
     max_steps: int = 1_000_000,
     backend: str = "auto",
+    observer=None,
 ) -> Tuple[int, Dict[int, int], List[Fraction]]:
     """Arrival-aware window algorithm over the canonical *offline*
     instance; ``release_of`` maps canonical job ids to release steps.
@@ -328,22 +486,18 @@ def run_online(
     Returns ``(makespan, completion_times, utilization)`` with canonical
     job ids (the front-end maps them back to online ids).
     """
-    resolve_backend(backend)
-    state = _online_state(offline, backend)
-    policy = OnlineWindowPolicy(
-        budget=state.ctx.scale(Fraction(1)),
-        size=max(offline.m - 1, 1),
-        release_of=release_of,
-    )
-    run_loop(
-        state,
-        policy,
+    return _run_online_policy(
+        offline,
+        lambda state: OnlineWindowPolicy(
+            budget=state.ctx.scale(Fraction(1)),
+            size=max(offline.m - 1, 1),
+            release_of=release_of,
+        ),
+        "online",
         max_steps,
-        lambda: RuntimeError("online scheduler exceeded max_steps"),
+        backend,
+        observer,
     )
-    conv = state.ctx.to_fraction
-    utilization = [Fraction(conv(u)) for u in state.utilization]
-    return state.t, dict(state.completion_times), utilization
 
 
 def run_online_list(
@@ -351,25 +505,22 @@ def run_online_list(
     release_of: Dict[int, int],
     max_steps: int = 1_000_000,
     backend: str = "auto",
+    observer=None,
 ) -> Tuple[int, Dict[int, int], List[Fraction]]:
     """Online list-scheduling baseline over the canonical *offline*
     instance (see :func:`run_online` for the return value)."""
-    resolve_backend(backend)
-    state = _online_state(offline, backend)
-    policy = OnlineListPolicy(
-        budget=state.ctx.scale(Fraction(1)),
-        m=offline.m,
-        release_of=release_of,
-    )
-    run_loop(
-        state,
-        policy,
+    return _run_online_policy(
+        offline,
+        lambda state: OnlineListPolicy(
+            budget=state.ctx.scale(Fraction(1)),
+            m=offline.m,
+            release_of=release_of,
+        ),
+        "online-list",
         max_steps,
-        lambda: RuntimeError("online list scheduler exceeded max_steps"),
+        backend,
+        observer,
     )
-    conv = state.ctx.to_fraction
-    utilization = [Fraction(conv(u)) for u in state.utilization]
-    return state.t, dict(state.completion_times), utilization
 
 
 # ---------------------------------------------------------------------------
@@ -383,6 +534,7 @@ def run_assigned(
     budget: Fraction,
     max_steps: int = 10_000_000,
     backend: str = "auto",
+    observer=None,
 ) -> Tuple[int, Dict, List[Fraction]]:
     """Run a head-of-queue distribution policy on an assigned instance.
 
@@ -393,22 +545,35 @@ def run_assigned(
     kind = resolve_backend(backend)
     if policy == "proportional":
         kind = "fraction"
-    ctx = make_context(kind, budget, (j.requirement for j in instance.jobs()))
-    req = {j.key: ctx.scale(j.requirement) for j in instance.jobs()}
-    totals = {j.key: j.size * req[j.key] for j in instance.jobs()}
-    state = EngineState(
-        instance.m, ctx, req, totals, record_utilization=True
-    )
+    obs, _ = setup_observer(observer)
+    with span(obs, "scale"):
+        ctx = make_context(
+            kind, budget, (j.requirement for j in instance.jobs())
+        )
+        req = {j.key: ctx.scale(j.requirement) for j in instance.jobs()}
+        totals = {j.key: j.size * req[j.key] for j in instance.jobs()}
+        state = EngineState(
+            instance.m, ctx, req, totals, record_utilization=True
+        )
+    if obs is not None:
+        obs.on_run_start(
+            _run_meta("assigned", ctx, instance.m, len(req))
+        )
     queues = [[job.key for job in queue] for queue in instance.queues]
     engine_policy = AssignedQueuePolicy(
         budget=ctx.scale(budget), queues=queues, policy=policy
     )
-    run_loop(
-        state,
-        engine_policy,
-        max_steps,
-        lambda: RuntimeError("assigned scheduler exceeded max_steps"),
-    )
-    conv = ctx.to_fraction
-    utilization = [Fraction(conv(u)) for u in state.utilization]
+    with span(obs, "loop"):
+        run_loop(
+            state,
+            engine_policy,
+            max_steps,
+            lambda: RuntimeError("assigned scheduler exceeded max_steps"),
+            observer=obs,
+        )
+    with span(obs, "emit"):
+        conv = ctx.to_fraction
+        utilization = [Fraction(conv(u)) for u in state.utilization]
+    if obs is not None:
+        obs.on_run_end(state, {"layer": "assigned", "makespan": state.t})
     return state.t, dict(state.completion_times), utilization

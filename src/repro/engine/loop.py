@@ -50,6 +50,7 @@ def run_loop(
     max_iters: int,
     cap_error: Callable[[], Exception],
     on_finish: Optional[Callable] = None,
+    observer=None,
 ) -> None:
     """Drive *policy* over *state* until no unfinished job remains.
 
@@ -58,12 +59,35 @@ def run_loop(
     of hanging.  ``on_finish(finished_keys)`` is invoked after every
     decision that completed at least one job (used by front-ends that react
     to completions, e.g. arrival admission).
+
+    *observer* (a :class:`repro.obs.Observer`, duck-typed) receives
+    ``on_decision(state, decision)`` after every applied decision — i.e.
+    once per run-length-encoded trace run, not per time step.  The
+    un-observed path is kept as a separate loop so installing no observer
+    costs nothing (the dispatch overhead of an installed no-op observer is
+    gated by ``benchmarks/bench_obs_overhead.py``).
     """
     guard = 0
+    if observer is None:
+        while state._unfinished:
+            guard += 1
+            if guard > max_iters:
+                raise cap_error()
+            finished = state.apply_decision(policy.decide(state))
+            if finished and on_finish is not None:
+                on_finish(finished)
+        return
+    # hoisted bound methods: the observed loop must stay within 5% of the
+    # bare one with a no-op observer installed (bench_obs_overhead gate)
+    decide = policy.decide
+    apply_decision = state.apply_decision
+    on_decision = observer.on_decision
     while state._unfinished:
         guard += 1
         if guard > max_iters:
             raise cap_error()
-        finished = state.apply_decision(policy.decide(state))
+        decision = decide(state)
+        finished = apply_decision(decision)
+        on_decision(state, decision)
         if finished and on_finish is not None:
             on_finish(finished)

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.instance import Instance
     from ..core.schedule import Schedule
+    from ..obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -47,6 +48,10 @@ class SRJResult:
     steps_full_resource: int = 0
     #: total wasted resource over the run
     total_waste: Fraction = Fraction(0)
+    #: metrics accumulated by ``collect_stats=True`` (else ``None``)
+    stats: "MetricsRegistry" = field(
+        default=None, repr=False, compare=False
+    )
 
     def iter_steps(self) -> Iterator[Mapping[int, Tuple[int, Fraction]]]:
         """Stream the schedule step-by-step without materializing it.

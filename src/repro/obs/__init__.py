@@ -1,0 +1,86 @@
+"""Engine-wide observability: observers, metrics, spans, JSONL traces.
+
+The subsystem has four pieces (see docs/API.md for the user tour):
+
+* :mod:`repro.obs.observer` — the :class:`Observer` no-op protocol the
+  engine invokes on every applied decision and phase boundary, plus
+  :class:`MultiObserver` and the :func:`span` timing helper;
+* :mod:`repro.obs.metrics` — picklable, order-insensitively mergeable
+  :class:`MetricsRegistry` (counters / max-gauges / streaming log₂
+  histograms), aggregatable across ``parallel_map`` workers;
+* :mod:`repro.obs.collect` — :class:`StatsObserver`, the built-in
+  collector behind every ``collect_stats=True`` kwarg and the
+  ``repro-sched stats`` CLI subcommand;
+* :mod:`repro.obs.trace_out` — :class:`JsonlTraceObserver` structured
+  JSONL emission (``--trace-out`` / ``$REPRO_TRACE``) with the
+  :func:`read_trace` round-trip reader.
+
+Every scheduler entry point (``solve_srj``, ``schedule_unit``,
+``solve_srt``, ``schedule_online[_list]``, ``schedule_assigned``, the
+simulator) accepts ``observer=`` and ``collect_stats=``; the engine step
+loop dispatches observers only when one is installed, and the no-op cost
+is gated at ≤ 5% by ``benchmarks/bench_obs_overhead.py`` (``BENCH_3.json``).
+
+This package is stdlib-only and imported by :mod:`repro.engine`; it must
+never import engine modules (duck-typed ``state``/``decision`` only).
+"""
+
+from typing import Optional, Tuple
+
+from .collect import StatsObserver
+from .metrics import Histogram, MetricsRegistry, merge_snapshots
+from .observer import NULL_OBSERVER, MultiObserver, Observer, span
+from .trace_out import (
+    TRACE_ENV,
+    JsonlTraceObserver,
+    iter_trace,
+    read_trace,
+    trace_observer_from_env,
+)
+
+__all__ = [
+    "Observer",
+    "MultiObserver",
+    "NULL_OBSERVER",
+    "span",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "StatsObserver",
+    "JsonlTraceObserver",
+    "TRACE_ENV",
+    "iter_trace",
+    "read_trace",
+    "trace_observer_from_env",
+    "setup_observer",
+]
+
+
+def setup_observer(
+    observer: Optional[Observer] = None,
+    collect_stats: bool = False,
+    env: bool = True,
+) -> Tuple[Optional[Observer], Optional[MetricsRegistry]]:
+    """Compose the effective observer for one entry-point call.
+
+    Combines, in order: the caller's *observer*, a fresh
+    :class:`StatsObserver` when *collect_stats* is set, and the
+    ``$REPRO_TRACE`` JSONL emitter when *env* is true (entry points that
+    already received a composed observer from an outer layer pass
+    ``env=False`` to avoid double emission).
+
+    Returns ``(observer_or_None, metrics_or_None)`` — ``None`` observer
+    means the engine runs the bare, instrumentation-free loop.
+    """
+    stats = StatsObserver() if collect_stats else None
+    parts = [obs for obs in (observer, stats) if obs is not None]
+    if env:
+        tracer = trace_observer_from_env()
+        if tracer is not None:
+            parts.append(tracer)
+    metrics = stats.metrics if stats is not None else None
+    if not parts:
+        return None, metrics
+    if len(parts) == 1:
+        return parts[0], metrics
+    return MultiObserver(parts), metrics

@@ -1,0 +1,122 @@
+"""The built-in stats observer: per-step quantities → a metrics registry.
+
+:class:`StatsObserver` is what ``collect_stats=True`` installs on every
+scheduler entry point.  It accumulates exactly the quantities the paper's
+analysis (Thm 3.3, Lemmas 3.4–3.8) is phrased in:
+
+* per-case step counts (``steps_case.case1`` / ``case2`` / ``unit`` /
+  ``seq`` / ``serial`` / ``idle`` / ``list`` / policy names) — which branch
+  of Listing 1/2 fired, weighted by the RLE run length;
+* ``steps_full_jobs`` / ``steps_full_resource`` — the saturation step
+  counts of Theorem 3.3 (≥ m−2 fully-served jobs; whole budget used);
+* ``total_waste`` — accumulated **in the run's working domain** (exact
+  integers or exact rationals) and converted once per run, so it equals
+  ``SRJResult.total_waste`` bit for bit;
+* histograms of window size, per-step waste and utilization; backend
+  usage and LCM-denominator magnitude per run;
+* wall-clock per phase (``span_seconds.scale`` / ``loop`` / ``emit`` /
+  ``validate``).
+
+The registry (``observer.metrics``) is picklable and mergeable across
+:func:`repro.perf.parallel.parallel_map` workers — see
+:mod:`repro.obs.metrics`.
+
+``on_decision`` is the engine's per-decision hot path and is written
+accordingly: counters are updated through the registry's dicts directly,
+the three per-step histograms are cached as bound objects, and histogram
+floats come from integer division by the backend's LCM denominator (no
+intermediate :class:`~fractions.Fraction`) — the total cost is gated at
+≤ 30% of the bare loop by ``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry
+from .observer import Observer
+
+__all__ = ["StatsObserver"]
+
+
+class StatsObserver(Observer):
+    """Accumulate engine events into a :class:`MetricsRegistry`.
+
+    One instance may observe any number of runs (possibly on different
+    backends); per-run working-domain accumulators are reset by
+    ``on_run_start`` and folded into the registry by ``on_run_end``.
+    """
+
+    __slots__ = ("metrics", "_run_waste", "_h_waste", "_h_window", "_h_util")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: working-domain waste accumulator of the current run (starts at
+        #: the backend-neutral 0, exact in every domain)
+        self._run_waste = 0
+        m = self.metrics
+        self._h_waste = m.histogram("step_waste")
+        self._h_window = m.histogram("window_size")
+        self._h_util = m.histogram("step_utilization")
+
+    # ------------------------------------------------------------------
+
+    def on_run_start(self, meta: Dict) -> None:
+        m = self.metrics
+        m.inc("runs_total")
+        layer = meta.get("layer")
+        if layer:
+            m.inc(f"runs_layer.{layer}")
+        backend = meta.get("backend")
+        if backend:
+            m.inc(f"runs_backend.{backend}")
+        bits = meta.get("denominator_bits")
+        if bits is not None:
+            m.gauge_max("denominator_bits_max", bits)
+            m.observe("denominator_bits", float(bits))
+        self._run_waste = 0
+
+    def on_decision(self, state, decision) -> None:
+        c = self.metrics.counters
+        count = decision.count
+        c["decisions_total"] = c.get("decisions_total", 0) + 1
+        c["steps_total"] = c.get("steps_total", 0) + count
+        key = "steps_case." + (decision.case or "uncased")
+        c[key] = c.get(key, 0) + count
+        if decision.full_jobs_step:
+            c["steps_full_jobs"] = c.get("steps_full_jobs", 0) + count
+        if decision.full_resource_step:
+            c["steps_full_resource"] = c.get("steps_full_resource", 0) + count
+        # integer backend: working values are ints scaled by `denominator`,
+        # so the histogram float is one int division; rational backends
+        # fall back to float(Fraction)
+        denom = getattr(state.ctx, "denominator", None)
+        waste = decision.waste
+        if waste != 0:
+            self._run_waste = self._run_waste + count * waste
+            self._h_waste.observe(
+                waste / denom if denom is not None else float(waste), count
+            )
+        else:
+            self._h_waste.observe(0.0, count)
+        self._h_window.observe(float(len(decision.window)))
+        used = decision.used
+        if used is not None:
+            self._h_util.observe(
+                used / denom if denom is not None else float(used), count
+            )
+
+    def on_span(self, name: str, seconds: float) -> None:
+        self.metrics.inc(f"span_seconds.{name}", seconds)
+
+    def on_run_end(self, state, summary: Dict) -> None:
+        m = self.metrics
+        waste = self._run_waste
+        if waste != 0:
+            m.inc("total_waste", Fraction(state.ctx.to_fraction(waste)))
+        self._run_waste = 0
+        makespan = summary.get("makespan")
+        if makespan is not None:
+            m.observe("makespan", float(makespan))
+            m.gauge_max("makespan_max", makespan)

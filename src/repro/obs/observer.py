@@ -1,0 +1,107 @@
+"""The engine observer protocol — the seam every telemetry surface hangs on.
+
+An *observer* receives the engine's life-cycle events:
+
+* ``on_run_start(meta)`` — one engine run begins (``meta`` carries the
+  layer name, backend, instance dimensions);
+* ``on_decision(state, decision)`` — one applied
+  :class:`~repro.engine.loop.StepDecision` (= one run-length-encoded trace
+  run of ``decision.count`` identical time steps), invoked *after*
+  ``state.apply_decision`` so processor assignments and the advanced clock
+  are visible;
+* ``on_span(name, seconds)`` — a completed wall-clock phase (input
+  scaling, step loop, trace conversion, validation), timed with
+  :func:`time.perf_counter`;
+* ``on_run_end(state, summary)`` — the run finished (``summary`` carries
+  makespan and the Theorem-3.3 step statistics).
+
+:class:`Observer` is also the no-op default: every hook is an empty
+method, so subclasses override only what they need and the engine can call
+any observer unconditionally.  The engine's hot loop skips observer
+dispatch entirely when no observer is installed, and the no-op dispatch
+cost is gated at ≤ 5% by ``benchmarks/bench_obs_overhead.py``.
+
+This module is dependency-free (stdlib only) so that ``repro.engine`` can
+import it without cycles; ``state`` and ``decision`` are consumed
+duck-typed (any object with ``ctx``/``count``/``case``/… attributes).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Observer", "MultiObserver", "NULL_OBSERVER", "span"]
+
+
+class Observer:
+    """No-op base observer; subclass and override the hooks you need."""
+
+    __slots__ = ()
+
+    def on_run_start(self, meta: Dict) -> None:
+        """One engine run begins; *meta* describes layer/backend/shape."""
+
+    def on_decision(self, state, decision) -> None:
+        """One applied RLE decision (``decision.count`` identical steps)."""
+
+    def on_span(self, name: str, seconds: float) -> None:
+        """A wall-clock phase *name* completed in *seconds*."""
+
+    def on_run_end(self, state, summary: Dict) -> None:
+        """The run finished; *summary* carries makespan and statistics."""
+
+    def close(self) -> None:
+        """Release resources (files, sockets); idempotent."""
+
+
+#: shared stateless no-op instance (useful as an explicit default and for
+#: measuring the bare dispatch overhead)
+NULL_OBSERVER = Observer()
+
+
+class MultiObserver(Observer):
+    """Fan every event out to a list of observers, in order."""
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers: Iterable[Observer]) -> None:
+        self.observers: List[Observer] = list(observers)
+
+    def on_run_start(self, meta: Dict) -> None:
+        for obs in self.observers:
+            obs.on_run_start(meta)
+
+    def on_decision(self, state, decision) -> None:
+        for obs in self.observers:
+            obs.on_decision(state, decision)
+
+    def on_span(self, name: str, seconds: float) -> None:
+        for obs in self.observers:
+            obs.on_span(name, seconds)
+
+    def on_run_end(self, state, summary: Dict) -> None:
+        for obs in self.observers:
+            obs.on_run_end(state, summary)
+
+    def close(self) -> None:
+        for obs in self.observers:
+            obs.close()
+
+
+@contextmanager
+def span(observer: Optional[Observer], name: str):
+    """Time a phase with ``perf_counter`` and report it to *observer*.
+
+    With ``observer=None`` this is a plain pass-through — no clock is read,
+    so un-observed runs pay nothing for the instrumentation points.
+    """
+    if observer is None:
+        yield
+        return
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        observer.on_span(name, perf_counter() - t0)

@@ -1,0 +1,190 @@
+"""Structured JSONL run traces: one record per RLE trace run.
+
+:class:`JsonlTraceObserver` streams an engine run to disk as JSON Lines.
+Because the engine's trace is run-length encoded, a schedule of 10⁶ time
+steps with O(runs) decisions costs O(runs) lines — the ``count`` field
+carries the repetition.  The record types are:
+
+* ``run_start`` — layer, backend, instance shape, LCM denominator bits;
+* ``run`` — one applied decision: end-step ``t``, ``count``, ``case``,
+  ``window``, exact ``shares`` (Fractions rendered as ``"p/q"`` strings,
+  job keys stringified), processor assignments when the engine manages
+  them, exact ``waste`` and the two saturation flags;
+* ``span`` — a wall-clock phase (``scale``/``loop``/``emit``/``validate``);
+* ``summary`` — makespan plus the accumulated Theorem-3.3 statistics.
+
+:func:`read_trace` round-trips a file back into records with ``shares`` /
+``waste`` parsed to exact :class:`~fractions.Fraction` values (job keys
+remain the stringified form — keys may be tuples, which JSON cannot carry
+natively).
+
+The emitter is enabled per call site via the ``observer=`` kwarg /
+``--trace-out`` CLI flag, or globally via the ``REPRO_TRACE`` environment
+variable (every engine run then *appends* to that one file; see
+:func:`trace_observer_from_env`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional
+
+from .observer import Observer
+
+__all__ = [
+    "JsonlTraceObserver",
+    "iter_trace",
+    "read_trace",
+    "trace_observer_from_env",
+]
+
+#: environment variable holding the global trace-output path
+TRACE_ENV = "REPRO_TRACE"
+
+#: schema version stamped on every run_start record
+TRACE_SCHEMA = 1
+
+
+def _key_str(key) -> str:
+    """Stringify a job key (int, or tuple for SRT/assigned layers)."""
+    return str(key)
+
+
+class JsonlTraceObserver(Observer):
+    """Write engine events to *path* as JSON Lines.
+
+    The file opens lazily on the first event.  With ``append=True``
+    (the ``REPRO_TRACE`` mode) records are appended and the file is closed
+    after every ``summary`` record, so independent runs — including runs
+    in short-lived worker processes — interleave at record granularity
+    without clobbering each other.
+    """
+
+    __slots__ = ("path", "append", "_fh", "_run_index", "_decision_index")
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = path
+        self.append = append
+        self._fh = None
+        self._run_index = 0
+        self._decision_index = 0
+
+    # ------------------------------------------------------------------
+
+    def _write(self, record: Dict) -> None:
+        if self._fh is None:
+            mode = "a" if self.append else "w"
+            self._fh = open(self.path, mode, encoding="utf-8")
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def on_run_start(self, meta: Dict) -> None:
+        self._decision_index = 0
+        record = {"type": "run_start", "schema": TRACE_SCHEMA,
+                  "run": self._run_index}
+        record.update(meta)
+        self._write(record)
+
+    def on_decision(self, state, decision) -> None:
+        conv = state.ctx.to_fraction
+        record: Dict = {
+            "type": "run",
+            "run": self._run_index,
+            "i": self._decision_index,
+            "t": state.t,
+            "count": decision.count,
+            "case": decision.case,
+            "window": [_key_str(k) for k in decision.window],
+            "shares": {
+                _key_str(k): str(Fraction(conv(v)))
+                for k, v in decision.shares.items()
+            },
+            "waste": str(Fraction(conv(decision.waste))),
+            "full_jobs": bool(decision.full_jobs_step),
+            "full_resource": bool(decision.full_resource_step),
+        }
+        if decision.assign_processors:
+            owner = state.processor_of
+            record["procs"] = {
+                _key_str(k): owner[k]
+                for k in decision.shares
+                if k in owner
+            }
+        self._decision_index += 1
+        self._write(record)
+
+    def on_span(self, name: str, seconds: float) -> None:
+        self._write(
+            {"type": "span", "run": self._run_index, "name": name,
+             "seconds": round(seconds, 9)}
+        )
+
+    def on_run_end(self, state, summary: Dict) -> None:
+        record = {"type": "summary", "run": self._run_index,
+                  "decisions": self._decision_index}
+        record.update(summary)
+        self._write(record)
+        self._run_index += 1
+        if self.append:
+            self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceObserver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def trace_observer_from_env() -> Optional[JsonlTraceObserver]:
+    """A :class:`JsonlTraceObserver` for ``$REPRO_TRACE``, or ``None``.
+
+    Append-mode, so every engine run in the process (and in
+    ``parallel_map`` worker processes, which inherit the environment)
+    lands in the same file.
+    """
+    path = os.environ.get(TRACE_ENV, "").strip()
+    if not path:
+        return None
+    return JsonlTraceObserver(path, append=True)
+
+
+def _parse_exact(record: Dict) -> Dict:
+    """Parse the exact-valued fields of a ``run`` record back to Fractions."""
+    record = dict(record)
+    if "shares" in record:
+        record["shares"] = {
+            k: Fraction(v) for k, v in record["shares"].items()
+        }
+    if "waste" in record:
+        record["waste"] = Fraction(record["waste"])
+    if "total_waste" in record:
+        record["total_waste"] = Fraction(record["total_waste"])
+    return record
+
+
+def iter_trace(path: str) -> Iterator[Dict]:
+    """Stream records from a JSONL trace file, exact fields parsed back
+    to :class:`~fractions.Fraction` (the round-trip reader)."""
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid trace record: {exc}"
+                ) from exc
+            yield _parse_exact(raw)
+
+
+def read_trace(path: str) -> List[Dict]:
+    """Materialized :func:`iter_trace` (small traces / tests)."""
+    return list(iter_trace(path))

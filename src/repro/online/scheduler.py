@@ -36,6 +36,8 @@ class OnlineResult:
     completion_times: Dict[int, int] = field(default_factory=dict)
     #: per-step resource utilization
     utilization: List[Fraction] = field(default_factory=list)
+    #: metrics accumulated by ``collect_stats=True`` (else ``None``)
+    stats: object = field(default=None, repr=False, compare=False)
 
 
 def _release_map(instance: OnlineInstance, offline) -> Dict[int, int]:
@@ -46,17 +48,23 @@ def _release_map(instance: OnlineInstance, offline) -> Dict[int, int]:
     }
 
 
-def schedule_online(
+def _schedule_online(
     instance: OnlineInstance,
-    max_steps: int = 1_000_000,
-    backend: str = "auto",
+    runner,
+    max_steps: int,
+    backend: str,
+    observer,
+    collect_stats: bool,
 ) -> OnlineResult:
-    """Run the arrival-aware window algorithm to completion."""
+    from ..obs import setup_observer
+
+    obs, metrics = setup_observer(observer, collect_stats, env=False)
     offline = instance.to_offline()
     online_id_of = dict(enumerate(offline.original_ids))
     release_of = _release_map(instance, offline)
-    makespan, completion, utilization = _engine.run_online(
-        offline, release_of, max_steps=max_steps, backend=backend
+    makespan, completion, utilization = runner(
+        offline, release_of, max_steps=max_steps, backend=backend,
+        observer=obs,
     )
     return OnlineResult(
         makespan=makespan,
@@ -64,6 +72,26 @@ def schedule_online(
             online_id_of[j]: t for j, t in completion.items()
         },
         utilization=utilization,
+        stats=metrics,
+    )
+
+
+def schedule_online(
+    instance: OnlineInstance,
+    max_steps: int = 1_000_000,
+    backend: str = "auto",
+    observer=None,
+    collect_stats: bool = False,
+) -> OnlineResult:
+    """Run the arrival-aware window algorithm to completion.
+
+    ``observer=`` / ``collect_stats=`` install telemetry (see
+    :mod:`repro.obs`); ``collect_stats=True`` attaches the metrics
+    registry as ``result.stats``.
+    """
+    return _schedule_online(
+        instance, _engine.run_online, max_steps, backend, observer,
+        collect_stats,
     )
 
 
@@ -71,19 +99,12 @@ def schedule_online_list(
     instance: OnlineInstance,
     max_steps: int = 1_000_000,
     backend: str = "auto",
+    observer=None,
+    collect_stats: bool = False,
 ) -> OnlineResult:
     """Online list-scheduling baseline: full allocations only, FIFO by
     release (ties by requirement)."""
-    offline = instance.to_offline()
-    online_id_of = dict(enumerate(offline.original_ids))
-    release_of = _release_map(instance, offline)
-    makespan, completion, utilization = _engine.run_online_list(
-        offline, release_of, max_steps=max_steps, backend=backend
-    )
-    return OnlineResult(
-        makespan=makespan,
-        completion_times={
-            online_id_of[j]: t for j, t in completion.items()
-        },
-        utilization=utilization,
+    return _schedule_online(
+        instance, _engine.run_online_list, max_steps, backend, observer,
+        collect_stats,
     )

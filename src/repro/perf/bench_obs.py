@@ -1,0 +1,164 @@
+"""Observability overhead harness: gates the cost of the observer hook.
+
+Companion to :mod:`repro.perf.bench` (``BENCH_1.json``) and
+:mod:`repro.perf.bench_srt` (``BENCH_2.json``): times the SRJ kernel in
+three instrumentation modes —
+
+* ``base`` — ``observer=None``; the engine runs the bare loop;
+* ``noop`` — ``observer=NULL_OBSERVER``; the observed loop with a no-op
+  observer, i.e. pure dispatch overhead;
+* ``stats`` — ``collect_stats=True``; the full :class:`StatsObserver`
+  (counters, histograms, working-domain waste accumulation);
+
+and gates the relative overheads: ``noop`` must stay within
+:data:`GATE_NOOP` (5%) of ``base`` and ``stats`` within
+:data:`GATE_STATS` (30%).  Rounds are interleaved (base/noop/stats,
+base/noop/stats, …) and each mode keeps its best-of-``reps`` time, so a
+load spike hits all modes alike instead of biasing one ratio.
+
+Usage::
+
+    python -m repro.perf.bench_obs               # small scale, BENCH_3.json
+    python -m repro.perf.bench_obs --scale full -o BENCH_3.json
+
+Exit status is non-zero when a gate fails (the ``make obs-smoke`` hook).
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import time
+from typing import Dict, List, Optional
+
+from .bench import peak_rss_kb, write_report
+from .parallel import seed_for
+
+__all__ = ["run_bench_obs", "write_report", "GATE_NOOP", "GATE_STATS"]
+
+#: schema version of the emitted JSON (bump on incompatible change)
+SCHEMA = 1
+
+#: maximum tolerated relative overhead of an installed no-op observer
+GATE_NOOP = 0.05
+
+#: maximum tolerated relative overhead of full stats collection
+GATE_STATS = 0.30
+
+MODES = ("base", "noop", "stats")
+
+
+def _points(scale: str) -> Dict[str, List]:
+    if scale == "small":
+        return {"shapes": [(8, 300)], "reps": [7]}
+    if scale == "full":
+        return {"shapes": [(8, 300), (16, 600)], "reps": [9]}
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def _solve(inst, mode: str):
+    from ..engine.api import solve_srj
+    from ..obs import NULL_OBSERVER
+
+    if mode == "base":
+        return solve_srj(inst, backend="int")
+    if mode == "noop":
+        return solve_srj(inst, backend="int", observer=NULL_OBSERVER)
+    return solve_srj(inst, backend="int", collect_stats=True)
+
+
+def run_bench_obs(
+    scale: str = "small",
+    seed: int = 0,
+    out: Optional[str] = None,
+    reps: Optional[int] = None,
+) -> Dict[str, object]:
+    """Time the three instrumentation modes; return (and optionally write)
+    a gated report."""
+    import random
+
+    from ..workloads import make_instance
+
+    p = _points(scale)
+    reps = reps if reps is not None else p["reps"][0]
+    rows: List[Dict[str, object]] = []
+
+    for idx, (m, n) in enumerate(p["shapes"]):
+        rng = random.Random(seed_for(seed, idx))
+        inst = make_instance("uniform", rng, m, n)
+        # warm-up round: JIT-free Python still benefits (allocator, caches)
+        # and it cross-checks that instrumentation never changes the result
+        results = {mode: _solve(inst, mode) for mode in MODES}
+        makespans = {mode: r.makespan for mode, r in results.items()}
+        if len(set(makespans.values())) != 1:
+            raise AssertionError(
+                f"observer changed the schedule at (m={m}, n={n}): "
+                f"{makespans}"
+            )
+        best = {mode: float("inf") for mode in MODES}
+        for _ in range(reps):
+            for mode in MODES:  # interleaved: noise hits all modes alike
+                t0 = time.perf_counter()
+                _solve(inst, mode)
+                best[mode] = min(best[mode], time.perf_counter() - t0)
+        overhead_noop = best["noop"] / best["base"] - 1.0
+        overhead_stats = best["stats"] / best["base"] - 1.0
+        rows.append({
+            "m": m, "n": n, "makespan": makespans["base"],
+            "base_s": round(best["base"], 6),
+            "noop_s": round(best["noop"], 6),
+            "stats_s": round(best["stats"], 6),
+            "noop_overhead": round(overhead_noop, 4),
+            "stats_overhead": round(overhead_stats, 4),
+        })
+
+    max_noop = max(r["noop_overhead"] for r in rows)
+    max_stats = max(r["stats_overhead"] for r in rows)
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "bench": "observer overhead, SRJ int kernel",
+        "scale": scale,
+        "seed": seed,
+        "reps": reps,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rows": rows,
+        "summary": {
+            "max_noop_overhead": max_noop,
+            "max_stats_overhead": max_stats,
+            "gate_noop": GATE_NOOP,
+            "gate_stats": GATE_STATS,
+            "passed": max_noop <= GATE_NOOP and max_stats <= GATE_STATS,
+            "peak_rss_kb": peak_rss_kb(),
+        },
+    }
+    if out:
+        write_report(report, out)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench_obs",
+        description="observer overhead gate; emits BENCH_3.json",
+    )
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--out", default="BENCH_3.json")
+    args = parser.parse_args(argv)
+    report = run_bench_obs(scale=args.scale, seed=args.seed, out=args.out)
+    s = report["summary"]
+    print(f"wrote {args.out}")
+    print(
+        f"no-op observer overhead: {s['max_noop_overhead']:+.2%} "
+        f"(gate {GATE_NOOP:.0%}); full stats: "
+        f"{s['max_stats_overhead']:+.2%} (gate {GATE_STATS:.0%})"
+    )
+    if not s["passed"]:
+        print("GATE FAILED")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

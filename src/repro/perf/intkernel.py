@@ -96,13 +96,16 @@ def solve_srj(
     accelerate: bool = True,
     window_size: Optional[int] = None,
     enable_move: bool = True,
+    observer=None,
+    collect_stats: bool = False,
 ) -> SRJResult:
     """Run Listing 1 on *instance* with a selectable numeric backend.
 
     ``backend="fraction"`` is the reference exact-rational implementation;
     ``backend="int"`` is the scaled-integer kernel (bit-for-bit identical
     results, typically an order of magnitude faster); ``backend="auto"``
-    picks the integer kernel.
+    picks the integer kernel.  ``observer=`` / ``collect_stats=`` install
+    telemetry (see :mod:`repro.obs`).
     """
     return _engine.solve_srj(
         instance,
@@ -110,4 +113,6 @@ def solve_srj(
         accelerate=accelerate,
         window_size=window_size,
         enable_move=enable_move,
+        observer=observer,
+        collect_stats=collect_stats,
     )

@@ -47,6 +47,8 @@ class SimulationResult:
 
     schedule: Schedule
     completion_times: Dict[int, int] = field(default_factory=dict)
+    #: metrics accumulated by ``collect_stats=True`` (else ``None``)
+    stats: object = field(default=None, repr=False, compare=False)
 
     @property
     def makespan(self) -> int:
@@ -54,7 +56,13 @@ class SimulationResult:
 
 
 class SimulationEngine:
-    """Runs a policy to completion under the model rules."""
+    """Runs a policy to completion under the model rules.
+
+    ``observer=`` / ``collect_stats=`` install telemetry exactly as on the
+    optimized entry points (see :mod:`repro.obs`): the observer sees one
+    ``on_decision`` per vetted step, the ``scale``/``loop``/``emit`` spans,
+    and ``collect_stats=True`` attaches the registry as ``result.stats``.
+    """
 
     def __init__(
         self,
@@ -62,15 +70,33 @@ class SimulationEngine:
         policy: Policy,
         budget: Fraction = Fraction(1),
         max_steps: int = 1_000_000,
+        observer=None,
+        collect_stats: bool = False,
     ) -> None:
         self.instance = instance
         self.policy = policy
         self.budget = budget
         self.max_steps = max_steps
+        self.observer = observer
+        self.collect_stats = collect_stats
 
     def run(self) -> SimulationResult:
-        state = SchedulerState(self.instance)
-        state.trace = []  # record vetted steps for the Schedule
+        from ..obs import setup_observer, span
+
+        obs, metrics = setup_observer(self.observer, self.collect_stats)
+        with span(obs, "scale"):
+            state = SchedulerState(self.instance)
+            state.trace = []  # record vetted steps for the Schedule
+        if obs is not None:
+            obs.on_run_start(
+                {
+                    "layer": "simulator",
+                    "backend": state.ctx.name,
+                    "m": self.instance.m,
+                    "n_jobs": self.instance.n,
+                    "denominator_bits": 1,
+                }
+            )
         engine = self
 
         class _VettedPolicy:
@@ -78,27 +104,35 @@ class SimulationEngine:
 
             def decide(self, st: SchedulerState) -> StepDecision:
                 shares = engine._vet(st, engine.policy.decide(st))
-                return StepDecision(shares=shares)
+                return StepDecision(shares=shares, case="simulated")
 
-        run_loop(
-            state,
-            _VettedPolicy(),
-            self.max_steps,
-            lambda: PolicyViolation(
-                f"no completion within max_steps={self.max_steps}"
-            ),
-        )
-        schedule = Schedule(instance=self.instance)
-        for shares, procs, count, _case, _window in state.trace:
-            pieces = {
-                job_id: (procs[job_id], share)
-                for job_id, share in shares.items()
-            }
-            for _ in range(count):
-                schedule.append_step(pieces)
+        with span(obs, "loop"):
+            run_loop(
+                state,
+                _VettedPolicy(),
+                self.max_steps,
+                lambda: PolicyViolation(
+                    f"no completion within max_steps={self.max_steps}"
+                ),
+                observer=obs,
+            )
+        with span(obs, "emit"):
+            schedule = Schedule(instance=self.instance)
+            for shares, procs, count, _case, _window in state.trace:
+                pieces = {
+                    job_id: (procs[job_id], share)
+                    for job_id, share in shares.items()
+                }
+                for _ in range(count):
+                    schedule.append_step(pieces)
+        if obs is not None:
+            obs.on_run_end(
+                state, {"layer": "simulator", "makespan": state.t}
+            )
         return SimulationResult(
             schedule=schedule,
             completion_times=dict(state.completion_times),
+            stats=metrics,
         )
 
     # ------------------------------------------------------------------

@@ -7,7 +7,7 @@ the task completes when its last job completes.  The objective is the sum
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Iterable, List, Sequence
 
@@ -99,6 +99,8 @@ class TaskScheduleResult:
     makespan: int
     #: optional label of the algorithm that produced it
     algorithm: str = ""
+    #: metrics accumulated by ``collect_stats=True`` (else ``None``)
+    stats: object = field(default=None, repr=False, compare=False)
 
     def sum_completion_times(self) -> int:
         return sum(self.completion_times.values())

@@ -31,13 +31,21 @@ def schedule_tasks(
     instance: TaskInstance,
     record_steps: bool = False,
     backend: str = "auto",
+    observer=None,
+    collect_stats: bool = False,
 ) -> TaskScheduleResult:
     """Run the Theorem 4.8 algorithm on *instance*.
 
     ``backend`` selects the engine's numeric backend (``"auto"``/``"int"``
     run on LCM-rescaled integers, ``"fraction"`` on exact rationals; the
-    results are bit-identical).
+    results are bit-identical).  ``observer=`` / ``collect_stats=``
+    install telemetry; one observer is shared across the heavy and light
+    half-runs, so ``result.stats`` aggregates both (the ``$REPRO_TRACE``
+    emitter is composed once per engine run, in :mod:`repro.engine.api`).
     """
+    from ..obs import setup_observer
+
+    obs, metrics = setup_observer(observer, collect_stats, env=False)
     m = instance.m
     if not instance.tasks:
         return TaskScheduleResult(
@@ -45,6 +53,7 @@ def schedule_tasks(
             completion_times={},
             makespan=0,
             algorithm="srt-split",
+            stats=metrics,
         )
     if m < 4:
         ordered = sorted(
@@ -52,13 +61,14 @@ def schedule_tasks(
         )
         res = run_sequential(
             ordered, m, Fraction(1), record_steps=record_steps,
-            backend=backend,
+            backend=backend, observer=obs,
         )
         return TaskScheduleResult(
             instance=instance,
             completion_times=res.completion_times,
             makespan=res.makespan,
             algorithm="srt-fallback-sequential",
+            stats=metrics,
         )
     heavy, light = partition_tasks(instance)
     completion: Dict[int, int] = {}
@@ -72,7 +82,7 @@ def schedule_tasks(
         )
         heavy_result = run_sequential(
             heavy_sorted, m1, r1, record_steps=record_steps,
-            backend=backend,
+            backend=backend, observer=obs,
         )
         completion.update(heavy_result.completion_times)
         makespan = max(makespan, heavy_result.makespan)
@@ -81,7 +91,7 @@ def schedule_tasks(
         light_sorted = sorted(light, key=lambda t: (t.n_jobs, t.id))
         light_result = run_sequential(
             light_sorted, m2, r2, record_steps=record_steps,
-            backend=backend,
+            backend=backend, observer=obs,
         )
         completion.update(light_result.completion_times)
         makespan = max(makespan, light_result.makespan)
@@ -90,6 +100,7 @@ def schedule_tasks(
         completion_times=completion,
         makespan=makespan,
         algorithm="srt-split",
+        stats=metrics,
     )
     # expose the half-results for analysis/diagnostics
     result.heavy_result = heavy_result  # type: ignore[attr-defined]
@@ -101,10 +112,13 @@ def solve_srt(
     instance: TaskInstance,
     backend: str = "auto",
     record_steps: bool = False,
+    observer=None,
+    collect_stats: bool = False,
 ) -> TaskScheduleResult:
     """Backend-selectable SRT entry point (alias of :func:`schedule_tasks`
     with the backend argument first, mirroring :func:`repro.perf.solve_srj`).
     """
     return schedule_tasks(
-        instance, record_steps=record_steps, backend=backend
+        instance, record_steps=record_steps, backend=backend,
+        observer=observer, collect_stats=collect_stats,
     )

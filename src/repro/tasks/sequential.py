@@ -71,11 +71,14 @@ def run_sequential(
     budget: Fraction,
     record_steps: bool = True,
     backend: str = "auto",
+    observer=None,
 ) -> SequentialResult:
     """Run the engine over *tasks* in the given order with *m* processors
-    and per-step resource *budget*."""
+    and per-step resource *budget*.  *observer* receives the run's
+    engine events (see :mod:`repro.obs`)."""
     completion, makespan, raw_steps = _engine.run_sequential_tasks(
-        tasks, m, budget, record_steps=record_steps, backend=backend
+        tasks, m, budget, record_steps=record_steps, backend=backend,
+        observer=observer,
     )
     steps: List[StepRecord] = []
     if raw_steps is not None:

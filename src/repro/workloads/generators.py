@@ -107,6 +107,7 @@ FAMILIES = {
     "heavy_tail": heavy_tail_instance,
     "correlated": correlated_instance,
     "anti_correlated": anti_correlated_instance,
+    "unit": unit_instance,
 }
 
 

@@ -5,6 +5,36 @@ import pytest
 from repro.cli import build_parser, main
 
 
+#: expected argument set per subcommand — a parity audit: every scheduler
+#: subcommand must expose --backend, every trace-bearing one --trace-out.
+EXPECTED_FLAGS = {
+    "demo": {"backend"},
+    "srj": {"family", "m", "n", "seed", "backend", "trace_out"},
+    "binpack": {"k", "n", "seed", "backend"},
+    "tasks": {"family", "m", "k", "seed", "backend", "trace_out"},
+    "experiment": {"id", "scale", "seed", "csv"},
+    "generate": {"family", "m", "n", "seed", "output"},
+    "solve": {
+        "input", "algorithm", "gantt", "output", "max_steps", "backend",
+        "trace_out",
+    },
+    "validate": {"instance", "schedule"},
+    "stats": {
+        "input", "family", "m", "n", "seed", "algorithm", "json",
+        "backend", "trace_out",
+    },
+    "selftest": {"trials", "seed"},
+    "report": {"output", "scale", "seed", "only"},
+}
+
+
+def _subcommand_parsers(parser):
+    for action in parser._actions:
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            return action.choices
+    raise AssertionError("no subparsers found")
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -18,9 +48,19 @@ class TestParser:
             ["binpack", "-k", "3"],
             ["tasks", "-m", "6"],
             ["experiment", "e1"],
+            ["stats", "-m", "4", "-n", "10"],
         ):
             args = p.parse_args(cmd)
             assert callable(args.func)
+
+    def test_flag_sets_per_subcommand(self):
+        subs = _subcommand_parsers(build_parser())
+        assert set(subs) == set(EXPECTED_FLAGS)
+        for name, sp in subs.items():
+            dests = {
+                a.dest for a in sp._actions if a.dest != "help"
+            }
+            assert dests == EXPECTED_FLAGS[name], f"subcommand {name!r}"
 
 
 class TestCommands:
@@ -44,6 +84,44 @@ class TestCommands:
         assert main(["tasks", "-m", "8", "-k", "6"]) == 0
         out = capsys.readouterr().out
         assert "sum completion times" in out
+
+    def test_binpack_backend_flag(self, capsys):
+        outs = []
+        for backend in ("fraction", "int"):
+            assert main(
+                ["binpack", "-k", "3", "-n", "20", "--backend", backend]
+            ) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]  # bit-identical backends
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "-m", "5", "-n", "20", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per-case step counts" in out
+        assert "agreement with scheduler result: OK" in out
+        assert "phase timings" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(
+            ["stats", "-m", "5", "-n", "20", "--json", "--backend", "int"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["agreement"] is True
+        assert payload["valid"] is True
+        assert payload["metrics"]["counters"]["steps_total"] == (
+            payload["makespan"]
+        )
+
+    def test_stats_unit_algorithm(self, capsys):
+        assert main(
+            ["stats", "-m", "4", "-n", "15", "--algorithm", "unit",
+             "--family", "unit"]
+        ) == 0
+        assert "agreement with scheduler result: OK" in (
+            capsys.readouterr().out
+        )
 
     def test_experiment_unknown_id(self, capsys):
         assert main(["experiment", "zzz"]) == 2
