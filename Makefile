@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-srt bench-obs obs-smoke perf-check lint-hotpath check
+.PHONY: test bench-smoke bench bench-srt bench-obs obs-smoke perf-check lint-hotpath faults-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +35,14 @@ obs-smoke:
 perf-check:
 	$(PYTHON) -m repro.analysis.profiling
 
+# fault-injection smoke: random instances x random FaultPlans through the
+# hardened parallel runner; exits non-zero if any recovered schedule fails
+# validation, plus a CLI degradation-report round-trip
+faults-smoke:
+	$(PYTHON) -m repro.perf.faultsweep --trials 8 -m 4 -n 16 --events 5
+	$(PYTHON) -m repro faults -m 4 -n 24 --fault-seed 7 --json > /dev/null
+	@echo "faults-smoke: OK"
+
 # the backend-generic engine hot path must stay free of exact-rational
 # arithmetic: any Fraction usage in these modules belongs in a backend
 lint-hotpath:
@@ -45,4 +53,4 @@ lint-hotpath:
 		|| (echo "lint-hotpath: exact-rational arithmetic found in engine hot path" && exit 1)
 	@echo "lint-hotpath: OK"
 
-check: test lint-hotpath perf-check bench-smoke obs-smoke
+check: test lint-hotpath perf-check bench-smoke obs-smoke faults-smoke

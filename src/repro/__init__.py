@@ -17,7 +17,10 @@ The package implements, from scratch:
 * exact solvers (MILP / brute force) for measuring true optima on small
   instances (:mod:`repro.exact`);
 * baselines, synthetic workload generators, a discrete-time execution
-  simulator, and analysis utilities.
+  simulator, and analysis utilities;
+* fault tolerance — seeded failure injection (processor crashes, capacity
+  dips, job aborts), checkpoint/recovery, and degradation reporting
+  (:mod:`repro.faults`; see docs/ROBUSTNESS.md).
 
 Quickstart::
 
@@ -49,6 +52,15 @@ from .core import (
     validate_result,
     validate_schedule,
 )
+from .faults import (
+    Checkpoint,
+    FaultEvent,
+    FaultPlan,
+    recover,
+    run_tasks_with_faults,
+    run_with_faults,
+    validate_faulted,
+)
 from .perf import solve_srj
 
 __version__ = "1.0.0"
@@ -70,5 +82,12 @@ __all__ = [
     "assert_result_valid",
     "validate_schedule",
     "validate_result",
+    "FaultEvent",
+    "FaultPlan",
+    "Checkpoint",
+    "run_with_faults",
+    "run_tasks_with_faults",
+    "recover",
+    "validate_faulted",
     "__version__",
 ]

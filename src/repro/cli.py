@@ -13,11 +13,17 @@ Subcommands
 * ``validate`` — audit a schedule JSON against an instance JSON;
 * ``stats`` — run a scheduler with telemetry enabled and print the metrics
   registry (per-case step counts, waste, saturation fractions, phase
-  timings), cross-checked against the result's own counters.
+  timings), cross-checked against the result's own counters;
+* ``faults`` — run an instance under a fault plan (loaded or randomly
+  generated from a seed), validate the recovered schedule and print the
+  degradation report (see docs/ROBUSTNESS.md).
 
 ``solve``, ``srj``, ``tasks`` and ``stats`` accept ``--trace-out FILE`` to
 emit a structured JSONL trace (one record per RLE trace run); the
 ``$REPRO_TRACE`` environment variable does the same for any entry point.
+``srj``, ``tasks`` and ``solve`` accept ``--fault-plan FILE`` to run under
+fault injection; errors (missing/malformed files, bad plans) exit with
+status 2 and a one-line message, never a traceback.
 """
 
 from __future__ import annotations
@@ -58,6 +64,41 @@ def _close_trace(tracer) -> None:
         print(f"wrote JSONL trace to {tracer.path}")
 
 
+def _load_fault_plan(args: argparse.Namespace):
+    """Load the ``--fault-plan`` file, or ``None`` when the flag is unset."""
+    path = getattr(args, "fault_plan", None)
+    if path is None:
+        return None
+    from .faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
+def _print_faulted_summary(result) -> int:
+    """Shared tail for fault-injected runs: validate + degradation line."""
+    from .faults import validate_faulted
+
+    report = validate_faulted(result)
+    print(
+        f"faulted makespan={result.makespan}  "
+        f"fault-free={result.fault_free_makespan}  "
+        f"events applied={result.n_applied()}/{len(result.plan)}  "
+        f"aborted={len(result.aborted)}"
+    )
+    if result.degradation is not None:
+        print(
+            f"degradation ratio: {result.degradation} "
+            f"({float(result.degradation):.4f})"
+        )
+    if report.ok:
+        print("recovered schedule: valid")
+        return 0
+    print(f"recovered schedule INVALID: {len(report.violations)} violation(s)")
+    for v in report.violations[:20]:
+        print(f"  {v}")
+    return 1
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     inst = Instance.from_requirements(
         m=4,
@@ -83,6 +124,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_srj(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     inst = make_instance(args.family, rng, args.m, args.n)
+    plan = _load_fault_plan(args)
+    if plan is not None:
+        from .faults import run_with_faults
+
+        tracer = _open_trace(args)
+        result = run_with_faults(
+            inst, plan, backend=args.backend, observer=tracer
+        )
+        _close_trace(tracer)
+        print(f"family={args.family} m={args.m} n={args.n} seed={args.seed}")
+        return _print_faulted_summary(result)
     tracer = _open_trace(args)
     result = schedule_srj(inst, backend=args.backend, observer=tracer)
     _close_trace(tracer)
@@ -111,6 +163,29 @@ def _cmd_binpack(args: argparse.Namespace) -> int:
 def _cmd_tasks(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     ti = make_taskset(args.family, rng, args.m, args.k)
+    plan = _load_fault_plan(args)
+    if plan is not None:
+        from .faults import run_tasks_with_faults
+
+        tracer = _open_trace(args)
+        res = run_tasks_with_faults(
+            ti, plan, backend=args.backend, observer=tracer
+        )
+        _close_trace(tracer)
+        s = res.sum_completion_times()
+        print(f"family={args.family} m={args.m} tasks={args.k}")
+        print(
+            f"faulted sum completion times={s}  "
+            f"fault-free={res.fault_free_sum}  "
+            f"events applied={sum(ok for _, ok in res.applied)}"
+            f"/{len(res.plan)}  aborted tasks={len(res.aborted)}"
+        )
+        if res.degradation is not None:
+            print(
+                f"degradation ratio: {res.degradation} "
+                f"({float(res.degradation):.4f})"
+            )
+        return 0
     tracer = _open_trace(args)
     res = schedule_tasks(ti, backend=args.backend, observer=tracer)
     _close_trace(tracer)
@@ -175,6 +250,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     with open(args.input) as fh:
         inst = instance_from_json(fh.read())
+    plan = _load_fault_plan(args)
+    if plan is not None:
+        if args.algorithm != "window":
+            raise ValueError(
+                "--fault-plan is only supported with --algorithm window"
+            )
+        from .faults import run_with_faults
+
+        tracer = _open_trace(args)
+        result = run_with_faults(
+            inst, plan, backend=args.backend, observer=tracer
+        )
+        _close_trace(tracer)
+        print(f"algorithm=window (fault plan: {args.fault_plan})")
+        return _print_faulted_summary(result)
     tracer = _open_trace(args)
     # window/unit return trace-bearing results that render without
     # materializing a Schedule; the simulator baselines return Schedules.
@@ -338,6 +428,95 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .faults import (
+        FaultPlan,
+        degradation_report,
+        run_with_faults,
+        validate_faulted,
+    )
+
+    if args.input:
+        from .io import instance_from_json
+
+        with open(args.input) as fh:
+            inst = instance_from_json(fh.read())
+        source = f"input={args.input}"
+    else:
+        rng = random.Random(args.seed)
+        inst = make_instance(args.family, rng, args.m, args.n)
+        source = (
+            f"family={args.family} m={args.m} n={args.n} seed={args.seed}"
+        )
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+        plan_source = f"plan={args.plan}"
+    else:
+        plan = FaultPlan.random(
+            args.fault_seed,
+            m=inst.m,
+            n_jobs=inst.n,
+            horizon=args.horizon,
+            events=args.events,
+        )
+        plan_source = (
+            f"random plan: fault-seed={args.fault_seed} "
+            f"events={args.events} horizon={args.horizon}"
+        )
+    if args.save_plan:
+        plan.save(args.save_plan)
+        print(f"wrote fault plan to {args.save_plan}")
+    tracer = _open_trace(args)
+    result = run_with_faults(
+        inst,
+        plan,
+        backend=args.backend,
+        observer=tracer,
+        collect_stats=True,
+        checkpoint_every=args.checkpoint_every,
+    )
+    _close_trace(tracer)
+    report = validate_faulted(result)
+    summary = degradation_report(result)
+    if args.json:
+        payload = dict(summary)
+        payload["source"] = source
+        payload["plan"] = plan.to_jsonable()
+        payload["valid"] = report.ok
+        payload["violations"] = list(report.violations)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{source}  backend={args.backend}")
+        print(plan_source)
+        print("event counts:", dict(plan.counts()))
+        for key in (
+            "makespan",
+            "fault_free_makespan",
+            "degradation_exact",
+            "degradation",
+            "events_planned",
+            "events_applied",
+            "jobs_completed",
+            "jobs_aborted",
+            "segments",
+            "checkpoints",
+        ):
+            if key in summary:
+                print(f"  {key:<20} {summary[key]}")
+        if result.stats is not None:
+            faults_total = result.stats.counter("faults_total")
+            print(f"  {'faults observed':<20} {faults_total}")
+        print(
+            "recovered schedule:"
+            f" {'valid' if report.ok else 'INVALID'}"
+        )
+        for v in report.violations[:20]:
+            print(f"  {v}")
+    return 0 if report.ok else 1
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     from .analysis.selftest import format_selftest, run_selftest
 
@@ -386,6 +565,15 @@ def build_parser() -> argparse.ArgumentParser:
             "per RLE trace run; see also the $REPRO_TRACE env var)",
         )
 
+    def add_fault_flag(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--fault-plan",
+            default=None,
+            metavar="FILE",
+            help="run under the fault plan in FILE (JSON; see "
+            "'repro-sched faults --save-plan' and docs/ROBUSTNESS.md)",
+        )
+
     p = sub.add_parser("demo", help="schedule a toy instance, print timeline")
     add_backend_flag(p)
     p.set_defaults(func=_cmd_demo)
@@ -397,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     add_backend_flag(p)
     add_trace_flag(p)
+    add_fault_flag(p)
     p.set_defaults(func=_cmd_srj)
 
     p = sub.add_parser("binpack", help="bin packing with splittable items")
@@ -413,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     add_backend_flag(p)
     add_trace_flag(p)
+    add_fault_flag(p)
     p.set_defaults(func=_cmd_tasks)
 
     p = sub.add_parser(
@@ -445,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-steps", type=int, default=1_000_000)
     add_backend_flag(p)
     add_trace_flag(p)
+    add_fault_flag(p)
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser(
@@ -479,6 +670,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(
+        "faults",
+        help="run an instance under a fault plan, print the degradation "
+        "report and validate the recovered schedule",
+    )
+    p.add_argument(
+        "--input", default=None, metavar="FILE",
+        help="instance JSON to schedule (default: generate a workload)",
+    )
+    p.add_argument("--family", default="uniform")
+    p.add_argument("-m", type=int, default=8)
+    p.add_argument("-n", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="fault plan JSON (default: generate one from --fault-seed)",
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--events", type=int, default=6)
+    p.add_argument("--horizon", type=int, default=100)
+    p.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="STEPS",
+        help="also checkpoint every STEPS steps (segment boundaries "
+        "always checkpoint)",
+    )
+    p.add_argument(
+        "--save-plan", default=None, metavar="FILE",
+        help="write the (possibly generated) fault plan to FILE",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the degradation report as JSON",
+    )
+    add_backend_flag(p)
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
         "selftest", help="quick internal consistency battery"
     )
     p.add_argument("--trials", type=int, default=25)
@@ -500,7 +728,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        # missing/malformed input files, bad plans, bad parameter combos:
+        # one line on stderr, exit 2, never a traceback
+        print(f"repro-sched: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

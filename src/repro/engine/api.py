@@ -111,6 +111,8 @@ def solve_srj(
     enable_move: bool = True,
     observer=None,
     collect_stats: bool = False,
+    budget: Fraction = Fraction(1),
+    step_limit: Optional[int] = None,
 ) -> SRJResult:
     """Run Listing 1 on *instance* with a selectable numeric backend.
 
@@ -123,16 +125,28 @@ def solve_srj(
     :mod:`repro.obs`); ``collect_stats=True`` additionally installs a
     :class:`~repro.obs.StatsObserver` and attaches its registry as
     ``result.stats``.
+
+    *budget* is the per-step resource total (default the paper's
+    ``R_total = 1``; the fault-tolerant runner passes degraded
+    capacities).  *step_limit* truncates the run after that many steps —
+    completion times of jobs still unfinished at the limit are simply
+    absent from the result.
     """
     resolve_backend(backend)  # validate before any work
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    if step_limit is not None and step_limit < 1:
+        raise ValueError("step_limit must be >= 1")
     obs, metrics = setup_observer(observer, collect_stats)
     if instance.m == 1:
-        result = run_serial(instance, observer=obs)
+        result = run_serial(
+            instance, observer=obs, budget=budget, step_limit=step_limit
+        )
         result.stats = metrics
         return result
     with span(obs, "scale"):
         ctx = make_context(
-            backend, Fraction(1), (job.requirement for job in instance.jobs)
+            backend, budget, (job.requirement for job in instance.jobs)
         )
         req = {job.id: ctx.scale(job.requirement) for job in instance.jobs}
         totals = {job.id: job.size * req[job.id] for job in instance.jobs}
@@ -142,7 +156,7 @@ def solve_srj(
     if obs is not None:
         obs.on_run_start(_run_meta("srj", ctx, instance.m, instance.n))
     policy = SlidingWindowPolicy(
-        budget=ctx.scale(Fraction(1)),
+        budget=ctx.scale(budget),
         size=(
             window_size
             if window_size is not None
@@ -153,11 +167,16 @@ def solve_srj(
     )
     # upper bound on iterations: each trace run finishes a job or is
     # bounded by fracture-status changes; a generous cap catches
-    # non-termination bugs instead of hanging.
+    # non-termination bugs instead of hanging.  With a degraded budget a
+    # job may need ⌈s_j / min(r_j, budget)⌉ steps, so the non-accelerated
+    # cap scales accordingly.
     if accelerate:
         max_iters = 16 * (instance.n + 4) * (instance.n + 4)
     else:
-        total_steps = sum(job.size for job in instance.jobs)
+        total_steps = sum(
+            ceil_div(job.total_requirement, min(job.requirement, budget))
+            for job in instance.jobs
+        )
         max_iters = 4 * total_steps * max(2, instance.n) + 64
     with span(obs, "loop"):
         run_loop(
@@ -168,6 +187,7 @@ def solve_srj(
                 "scheduler exceeded iteration cap — non-termination bug"
             ),
             observer=obs,
+            step_limit=step_limit,
         )
     with span(obs, "emit"):
         result = _build_srj_result(instance, state)
@@ -189,13 +209,19 @@ def _srj_summary(layer: str, result: SRJResult) -> Dict:
     }
 
 
-def run_serial(instance, observer=None) -> SRJResult:
+def run_serial(
+    instance,
+    observer=None,
+    budget: Fraction = Fraction(1),
+    step_limit: Optional[int] = None,
+) -> SRJResult:
     """Trivial optimal scheduler for m = 1: run jobs one at a time, each
-    receiving ``min(r_j, 1)`` per step.
+    receiving ``min(r_j, budget)`` per step.
 
     This path never enters the engine loop; when an *observer* is
     installed it receives one synthetic decision per emitted trace run so
     downstream telemetry (stats, JSONL traces) stays uniform.
+    *step_limit* truncates the run exactly like the engine loop's bound.
     """
     result = SRJResult(instance=instance, makespan=0, completion_times={})
     obs_state = None
@@ -226,8 +252,26 @@ def run_serial(instance, observer=None) -> SRJResult:
 
     t = 0
     for job in instance.jobs:
-        share = min(job.requirement, Fraction(1))
+        if step_limit is not None and t >= step_limit:
+            break
+        share = min(job.requirement, budget)
         steps = ceil_div(job.total_requirement, share)
+        if step_limit is not None and t + steps > step_limit:
+            # truncated tail: the job keeps its full per-step share for the
+            # remaining room and stays unfinished (no completion recorded)
+            room = step_limit - t
+            emit(
+                TraceRun(
+                    shares={job.id: share},
+                    processors={job.id: 0},
+                    count=room,
+                    case="serial",
+                    window=[job.id],
+                )
+            )
+            t += room
+            result.steps_full_jobs += room
+            break
         full_steps = steps - 1
         rem_last = job.total_requirement - full_steps * share
         if full_steps > 0:
@@ -351,6 +395,7 @@ def run_sequential_tasks(
     record_steps: bool = True,
     backend: str = "auto",
     observer=None,
+    step_limit: Optional[int] = None,
 ) -> Tuple[Dict, int, Optional[List]]:
     """Run the Listing-3/4 sequential engine over *tasks* in order.
 
@@ -360,11 +405,15 @@ def run_sequential_tasks(
     keyed by ``(task_id, job_index)``.  *observer* receives the run's
     life-cycle events (stats composition happens in the task front-end,
     which may share one observer across the heavy and light half-runs).
+    *step_limit* truncates the run after that many steps; tasks still
+    unfinished then have no completion time.
     """
     if m < 1:
         raise ValueError("m must be >= 1")
     if budget <= 0:
         raise ValueError("budget must be positive")
+    if step_limit is not None and step_limit < 1:
+        raise ValueError("step_limit must be >= 1")
     resolve_backend(backend)
     obs, _ = setup_observer(observer)
     with span(obs, "scale"):
@@ -405,6 +454,7 @@ def run_sequential_tasks(
             guard_limit,
             lambda: RuntimeError("sequential engine exceeded iteration cap"),
             observer=obs,
+            step_limit=step_limit,
         )
     steps: Optional[List] = None
     with span(obs, "emit"):

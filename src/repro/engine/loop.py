@@ -51,6 +51,7 @@ def run_loop(
     cap_error: Callable[[], Exception],
     on_finish: Optional[Callable] = None,
     observer=None,
+    step_limit: Optional[int] = None,
 ) -> None:
     """Drive *policy* over *state* until no unfinished job remains.
 
@@ -66,8 +67,31 @@ def run_loop(
     un-observed path is kept as a separate loop so installing no observer
     costs nothing (the dispatch overhead of an installed no-op observer is
     gated by ``benchmarks/bench_obs_overhead.py``).
+
+    *step_limit* stops the run after exactly that many time steps (the
+    fault-tolerant runner's segment horizon): the final bulk decision is
+    truncated to land on the limit.  Truncating is safe because the loop
+    exits immediately afterwards — the policy's internal bookkeeping is
+    never consulted again.  The bounded variant is a separate loop so the
+    unbounded hot path stays comparison-free.
     """
     guard = 0
+    if step_limit is not None:
+        on_decision = observer.on_decision if observer is not None else None
+        while state._unfinished and state.t < step_limit:
+            guard += 1
+            if guard > max_iters:
+                raise cap_error()
+            decision = policy.decide(state)
+            room = step_limit - state.t
+            if decision.count > room:
+                decision.count = room
+            finished = state.apply_decision(decision)
+            if on_decision is not None:
+                on_decision(state, decision)
+            if finished and on_finish is not None:
+                on_finish(finished)
+        return
     if observer is None:
         while state._unfinished:
             guard += 1

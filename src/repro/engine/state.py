@@ -55,6 +55,8 @@ class EngineState:
         self.processor_of: Dict = {}
         #: processors currently owned by a *running* (started, unfinished) job
         self._busy_processors: Set[int] = set()
+        #: processors taken offline by a fault injector (never assigned)
+        self._down_processors: Set[int] = set()
         #: current time step (number of completed steps)
         self.t: int = 0
         #: job key -> completion time step
@@ -109,8 +111,17 @@ class EngineState:
         return [j for j in self._unfinished if self.is_fractured(j)]
 
     def free_processors(self) -> List[int]:
-        """Processors not owned by a running job, ascending."""
-        return [p for p in range(self.m) if p not in self._busy_processors]
+        """Processors not owned by a running job and not down, ascending."""
+        return [
+            p
+            for p in range(self.m)
+            if p not in self._busy_processors
+            and p not in self._down_processors
+        ]
+
+    def available_processors(self) -> int:
+        """Number of processors currently online."""
+        return self.m - len(self._down_processors)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -126,7 +137,10 @@ class EngineState:
         if job_id in self.processor_of and not self.is_finished(job_id):
             return self.processor_of[job_id]
         for p in range(self.m):
-            if p not in self._busy_processors:
+            if (
+                p not in self._busy_processors
+                and p not in self._down_processors
+            ):
                 self.processor_of[job_id] = p
                 self._busy_processors.add(p)
                 return p
@@ -134,6 +148,44 @@ class EngineState:
             f"no free processor for job {job_id}: more than m={self.m}"
             " concurrent jobs scheduled"
         )
+
+    def set_processor_down(self, processor: int) -> None:
+        """Take *processor* offline (fault injection).
+
+        A running owner loses the processor and will be re-assigned a free
+        one at its next processing step — under faults the model permits
+        this migration (the paper's fixed-assignment property assumes a
+        fault-free machine).
+        """
+        if processor < 0 or processor >= self.m:
+            raise ValueError(
+                f"processor {processor} out of range 0..{self.m - 1}"
+            )
+        self._down_processors.add(processor)
+        self._busy_processors.discard(processor)
+        for job_id, proc in list(self.processor_of.items()):
+            if proc == processor:
+                del self.processor_of[job_id]
+
+    def set_processor_up(self, processor: int) -> None:
+        """Bring a crashed *processor* back online."""
+        self._down_processors.discard(processor)
+
+    def force_finish(self, job_id) -> List:
+        """Abort *job_id*: zero its remaining work, record completion at
+        the current step, release its processor.  Returns the keys
+        actually aborted (empty if the job was already finished)."""
+        if job_id not in self.remaining or self.remaining[job_id] <= 0:
+            return []
+        self.remaining[job_id] = self.zero
+        self.completion_times[job_id] = self.t
+        idx = bisect_left(self._unfinished, job_id)
+        if idx < len(self._unfinished) and self._unfinished[idx] == job_id:
+            del self._unfinished[idx]
+        proc = self.processor_of.get(job_id)
+        if proc is not None:
+            self._busy_processors.discard(proc)
+        return [job_id]
 
     def _apply(self, shares: Dict, count: int, check_negative: bool) -> List:
         """Subtract ``count`` copies of *shares*, advance ``t``, record
@@ -189,12 +241,13 @@ class EngineState:
         if decision.assign_processors:
             procs = {}
             busy = self._busy_processors
+            down = self._down_processors
             owner = self.processor_of
             for job_id in shares:
                 p = owner.get(job_id)
                 if p is None:
                     for q in range(self.m):
-                        if q not in busy:
+                        if q not in busy and q not in down:
                             p = q
                             break
                     else:

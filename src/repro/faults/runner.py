@@ -1,0 +1,530 @@
+"""The fault-tolerant SRJ runner: segmented execution + recovery.
+
+``run_with_faults`` executes an SRJ instance under a :class:`FaultPlan`
+by partitioning the timeline at fault-event boundaries.  Between two
+boundaries the machine condition (online processors, capacity) is
+constant, so the paper's sliding-window scheduler applies verbatim to the
+*residual* sub-instance: each surviving job ``j`` with residual volume
+``v_j = s_j − (resource delivered so far)`` re-enters as a job with
+requirement ``r_j`` and real-valued size ``v_j / r_j``, rescaled by the
+paper's real-size transformation (:meth:`Instance.from_real_sizes`,
+below Equation (1)).  This *is* the recovery algorithm of the issue:
+re-invoking the sliding-window scheduler on residual volumes.  All
+arithmetic is exact (Fractions / LCM-scaled integers), so the produced
+schedule, completion times and the degradation ratio are identical
+across backends and run counts.
+
+Guarantees (see docs/ROBUSTNESS.md):
+
+* every non-aborted job completes, and the assembled schedule satisfies
+  the per-step model rules of the *degraded* machine (capacity at most
+  the dipped ``R_total(t)``, concurrency at most the online processor
+  count) — checked by :func:`validate_faulted`;
+* within a segment the paper's 2+1/(m−2) window guarantees hold for the
+  residual sub-instance; **no end-to-end approximation factor** is
+  claimed across fault boundaries (crashes can force processor
+  migration, which the fault-free model forbids).
+
+``recover`` is the single-shot form: given a :class:`Checkpoint` it
+builds the residual sub-instance, schedules it fault-free and returns a
+tail whose schedule passes ``validate_schedule``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.instance import Instance
+from ..core.validate import ValidationReport
+from ..engine.api import solve_srj
+from ..engine.trace import SRJResult, TraceRun
+from ..numeric import frac_sum
+from ..obs import setup_observer
+from .model import FaultEvent, FaultPlan
+from .snapshot import Checkpoint
+
+__all__ = [
+    "FaultRecoveryError",
+    "FaultSegment",
+    "FaultedResult",
+    "RecoveryResult",
+    "run_with_faults",
+    "recover",
+    "validate_faulted",
+    "degradation_report",
+]
+
+
+class FaultRecoveryError(RuntimeError):
+    """The plan leaves the machine unable to finish (e.g. every
+    processor down with no restore event pending)."""
+
+
+@dataclass
+class FaultSegment:
+    """One maximal run under a constant machine condition.
+
+    ``runs`` is the segment's RLE trace with *original* job ids and
+    *physical* processor indices; an idle segment (no online processor or
+    zero capacity) has no runs.
+    """
+
+    start: int
+    length: int
+    capacity: Fraction
+    processors: Tuple[int, ...]
+    runs: List[TraceRun] = field(default_factory=list)
+
+
+@dataclass
+class FaultedResult:
+    """Outcome of :func:`run_with_faults`."""
+
+    instance: Instance
+    plan: FaultPlan
+    backend: str
+    makespan: int
+    #: original job id -> completion step (aborted jobs absent)
+    completion_times: Dict[int, int]
+    #: original job id -> step the abort took effect
+    aborted: Dict[int, int]
+    segments: List[FaultSegment]
+    checkpoints: List[Checkpoint]
+    #: (event, applied?) in firing order; an event is skipped (False) when
+    #: it is a no-op in context (crash of a down/out-of-range processor,
+    #: restore of an up one, abort of a finished job)
+    applied: List[Tuple[FaultEvent, bool]]
+    #: makespan of the same instance without faults (None if not computed)
+    fault_free_makespan: Optional[int] = None
+    #: metrics accumulated by ``collect_stats=True`` (else ``None``)
+    stats: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def degradation(self) -> Optional[Fraction]:
+        """Achieved-vs-fault-free makespan ratio (≥ 1 in practice)."""
+        if self.fault_free_makespan is None or self.fault_free_makespan == 0:
+            return None
+        return Fraction(self.makespan, self.fault_free_makespan)
+
+    def n_applied(self) -> int:
+        return sum(1 for _ev, ok in self.applied if ok)
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of :func:`recover`: the rescheduled tail."""
+
+    #: the residual sub-instance (canonical ids)
+    sub_instance: Instance
+    #: canonical sub-instance id -> original job id
+    job_ids: Dict[int, int]
+    #: the fault-free schedule of the residual volumes
+    result: SRJResult
+    #: wall-clock step the tail starts at
+    start: int
+
+    @property
+    def completion_times(self) -> Dict[int, int]:
+        """Original job id -> absolute completion step."""
+        return {
+            self.job_ids[cid]: self.start + ct
+            for cid, ct in self.result.completion_times.items()
+        }
+
+    @property
+    def makespan(self) -> int:
+        return self.start + self.result.makespan
+
+
+# ---------------------------------------------------------------------------
+# Residual sub-instances
+# ---------------------------------------------------------------------------
+
+
+def _residual_instance(
+    instance: Instance, residual: Dict[int, Fraction], m_eff: int
+) -> Tuple[Instance, Dict[int, int]]:
+    """Build the sub-instance of jobs with residual volume > 0.
+
+    Returns ``(sub, keymap)`` where ``keymap`` maps the sub-instance's
+    canonical job ids back to original job ids.  Residual volumes re-enter
+    through the paper's real-size rescaling: requirement ``r_j`` is kept,
+    the real size is ``v_j / r_j``, so ``s'_j = v_j`` exactly.
+    """
+    keys = sorted(j for j, v in residual.items() if v > 0)
+    reqs = [instance.requirement(j) for j in keys]
+    sizes = [residual[j] / instance.requirement(j) for j in keys]
+    sub = Instance.from_real_sizes(m_eff, reqs, sizes)
+    keymap = {
+        cid: keys[pos] for cid, pos in enumerate(sub.original_ids)
+    }
+    return sub, keymap
+
+
+def _apply_event(
+    ev: FaultEvent,
+    m: int,
+    down: Set[int],
+    capacity: List[Fraction],
+    residual: Dict[int, Fraction],
+    aborted: Dict[int, int],
+    t: int,
+) -> bool:
+    """Mutate the machine condition for one event; True iff it took effect."""
+    if ev.kind == "crash":
+        if ev.processor >= m or ev.processor in down:
+            return False
+        down.add(ev.processor)
+        return True
+    if ev.kind == "restore":
+        if ev.processor not in down:
+            return False
+        down.discard(ev.processor)
+        return True
+    if ev.kind == "dip":
+        if capacity[0] == ev.capacity:
+            return False
+        capacity[0] = ev.capacity
+        return True
+    # abort
+    if ev.job not in residual or residual[ev.job] <= 0:
+        return False
+    residual[ev.job] = Fraction(0)
+    aborted[ev.job] = t
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The segmented runner
+# ---------------------------------------------------------------------------
+
+
+def run_with_faults(
+    instance: Instance,
+    plan: FaultPlan,
+    backend: str = "auto",
+    observer=None,
+    collect_stats: bool = False,
+    compare_fault_free: bool = True,
+    checkpoint_every: Optional[int] = None,
+    from_checkpoint: Optional[Checkpoint] = None,
+    max_segments: int = 100_000,
+) -> FaultedResult:
+    """Execute *instance* under *plan*, recovering after every fault.
+
+    With an empty plan (and no ``checkpoint_every``) the result equals
+    ``solve_srj(instance, backend)`` run for run.  ``checkpoint_every``
+    additionally cuts segments at multiples of that step count so a
+    :class:`Checkpoint` lands there; note this resets the sliding window
+    at the cut, which may alter the schedule *shape* (it stays valid and
+    deterministic).  ``from_checkpoint`` resumes a previous run — the
+    produced tail is identical to the straight-through run's tail.
+
+    *observer* / ``collect_stats`` install telemetry; fault events reach
+    observers through ``on_fault`` and the per-segment engine runs emit
+    the usual run records.
+    """
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    obs, metrics = setup_observer(observer, collect_stats, env=False)
+    events = plan.events
+    if from_checkpoint is None:
+        t = 0
+        residual = {
+            job.id: job.total_requirement for job in instance.jobs
+        }
+        completed: Dict[int, int] = {}
+        aborted: Dict[int, int] = {}
+        down: Set[int] = set()
+        capacity = [Fraction(1)]
+        next_event = 0
+    else:
+        cp = from_checkpoint
+        t = cp.t
+        residual = dict(cp.residual)
+        completed = dict(cp.completed)
+        aborted = dict(cp.aborted)
+        down = set(cp.down)
+        capacity = [Fraction(cp.capacity)]
+        next_event = cp.next_event
+
+    segments: List[FaultSegment] = []
+    checkpoints: List[Checkpoint] = []
+    applied: List[Tuple[FaultEvent, bool]] = []
+
+    while True:
+        while next_event < len(events) and events[next_event].t <= t:
+            ev = events[next_event]
+            next_event += 1
+            ok = _apply_event(
+                ev, instance.m, down, capacity, residual, aborted, t
+            )
+            applied.append((ev, ok))
+            if obs is not None:
+                obs.on_fault(ev, {"t": t, "applied": ok, "layer": "faults"})
+        if not any(v > 0 for v in residual.values()):
+            break
+        if len(segments) >= max_segments:
+            raise FaultRecoveryError(
+                f"fault runner exceeded {max_segments} segments"
+            )
+        horizon: Optional[int] = (
+            events[next_event].t if next_event < len(events) else None
+        )
+        if checkpoint_every is not None:
+            next_cp = (t // checkpoint_every + 1) * checkpoint_every
+            horizon = next_cp if horizon is None else min(horizon, next_cp)
+        m_eff = instance.m - len(down)
+        stalled = m_eff <= 0 or capacity[0] <= 0
+        if stalled:
+            if next_event >= len(events):
+                raise FaultRecoveryError(
+                    "machine stalled (no online processor or zero capacity)"
+                    " with no restoring event left in the plan"
+                )
+            # idle until the next event can change the condition
+            idle_to = events[next_event].t
+            if checkpoint_every is not None:
+                next_cp = (t // checkpoint_every + 1) * checkpoint_every
+                idle_to = min(idle_to, next_cp)
+            segments.append(
+                FaultSegment(
+                    start=t,
+                    length=idle_to - t,
+                    capacity=capacity[0],
+                    processors=tuple(
+                        p for p in range(instance.m) if p not in down
+                    ),
+                )
+            )
+            t = idle_to
+        else:
+            sub, keymap = _residual_instance(instance, residual, m_eff)
+            step_limit = None if horizon is None else horizon - t
+            res = solve_srj(
+                sub,
+                backend=backend,
+                observer=obs,
+                budget=capacity[0],
+                step_limit=step_limit,
+            )
+            up = tuple(p for p in range(instance.m) if p not in down)
+            runs = [
+                TraceRun(
+                    shares={
+                        keymap[cid]: share
+                        for cid, share in run.shares.items()
+                    },
+                    processors={
+                        keymap[cid]: up[proc]
+                        for cid, proc in run.processors.items()
+                    },
+                    count=run.count,
+                    case=run.case,
+                    window=[keymap[cid] for cid in run.window],
+                )
+                for run in res.trace
+            ]
+            delivered: Dict[int, Fraction] = {}
+            for run in res.trace:
+                for cid, share in run.shares.items():
+                    oj = keymap[cid]
+                    delivered[oj] = (
+                        delivered.get(oj, Fraction(0)) + share * run.count
+                    )
+            for oj, vol in delivered.items():
+                rem = residual[oj] - vol
+                if rem < 0:
+                    raise AssertionError(
+                        f"segment over-delivered {vol - residual[oj]} "
+                        f"to job {oj}"
+                    )
+                residual[oj] = rem
+            for cid, ct in res.completion_times.items():
+                completed[keymap[cid]] = t + ct
+            segments.append(
+                FaultSegment(
+                    start=t,
+                    length=res.makespan,
+                    capacity=capacity[0],
+                    processors=up,
+                    runs=runs,
+                )
+            )
+            t += res.makespan
+        checkpoints.append(
+            Checkpoint(
+                t=t,
+                residual={j: v for j, v in residual.items() if v > 0},
+                completed=dict(completed),
+                aborted=dict(aborted),
+                down=tuple(sorted(down)),
+                capacity=capacity[0],
+                next_event=next_event,
+            )
+        )
+
+    fault_free = None
+    if compare_fault_free:
+        fault_free = solve_srj(instance, backend=backend).makespan
+    return FaultedResult(
+        instance=instance,
+        plan=plan,
+        backend=backend,
+        makespan=t,
+        completion_times=completed,
+        aborted=aborted,
+        segments=segments,
+        checkpoints=checkpoints,
+        applied=applied,
+        fault_free_makespan=fault_free,
+        stats=metrics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-shot recovery
+# ---------------------------------------------------------------------------
+
+
+def recover(
+    instance: Instance,
+    checkpoint: Checkpoint,
+    backend: str = "auto",
+    observer=None,
+) -> RecoveryResult:
+    """Reschedule the residual volumes of *checkpoint* fault-free.
+
+    Re-invokes the sliding-window scheduler on ``v_j = s_j − delivered``
+    over the full machine at unit capacity; the returned tail's schedule
+    passes ``validate_schedule`` (tested).  Use this to resume after the
+    fault regime has passed.
+    """
+    if not checkpoint.residual:
+        raise FaultRecoveryError("checkpoint has no residual work to recover")
+    sub, keymap = _residual_instance(
+        instance, dict(checkpoint.residual), instance.m
+    )
+    result = solve_srj(sub, backend=backend, observer=observer)
+    return RecoveryResult(
+        sub_instance=sub,
+        job_ids=keymap,
+        result=result,
+        start=checkpoint.t,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation & reporting
+# ---------------------------------------------------------------------------
+
+
+def validate_faulted(result: FaultedResult) -> ValidationReport:
+    """Audit a :class:`FaultedResult` against the degraded model rules.
+
+    Checks, per segment run: exact capacity compliance, concurrency at
+    most the online processor count, distinct online processors, shares
+    within ``[0, r_j]``; across segments: contiguous coverage of
+    ``[0, makespan)``, total delivery ``s_j`` for every non-aborted job
+    (at most ``s_j`` for aborted ones), and completion times consistent
+    with the trace.  Works on the RLE runs directly, so cost is
+    O(runs · jobs-per-run), independent of the makespan.
+    """
+    inst = result.instance
+    violations: List[str] = []
+    delivered: Dict[int, Fraction] = {
+        job.id: Fraction(0) for job in inst.jobs
+    }
+    cursor = 0
+    for si, seg in enumerate(result.segments):
+        if seg.start != cursor:
+            violations.append(
+                f"segment {si} starts at {seg.start}, expected {cursor}"
+            )
+        if seg.length < 0:
+            violations.append(f"segment {si} has negative length")
+        cursor = seg.start + seg.length
+        online = set(seg.processors)
+        run_steps = sum(run.count for run in seg.runs)
+        if seg.runs and run_steps != seg.length:
+            violations.append(
+                f"segment {si} covers {run_steps} steps, length {seg.length}"
+            )
+        for ri, run in enumerate(seg.runs):
+            total = frac_sum(run.shares.values())
+            if total > seg.capacity:
+                violations.append(
+                    f"segment {si} run {ri}: resource overuse "
+                    f"{total} > {seg.capacity}"
+                )
+            if len(run.shares) > len(online):
+                violations.append(
+                    f"segment {si} run {ri}: {len(run.shares)} concurrent "
+                    f"jobs on {len(online)} online processors"
+                )
+            procs = [run.processors.get(j) for j in run.shares]
+            if len(set(procs)) != len(procs):
+                violations.append(
+                    f"segment {si} run {ri}: duplicate processor assignment"
+                )
+            for j, share in run.shares.items():
+                if share < 0:
+                    violations.append(
+                        f"segment {si} run {ri}: negative share for job {j}"
+                    )
+                if share > inst.requirement(j):
+                    violations.append(
+                        f"segment {si} run {ri}: job {j} share {share} "
+                        f"exceeds requirement {inst.requirement(j)}"
+                    )
+                if run.processors.get(j) not in online:
+                    violations.append(
+                        f"segment {si} run {ri}: job {j} on offline "
+                        f"processor {run.processors.get(j)}"
+                    )
+                delivered[j] = delivered[j] + share * run.count
+    if cursor != result.makespan:
+        violations.append(
+            f"segments cover [0, {cursor}), makespan is {result.makespan}"
+        )
+    for job in inst.jobs:
+        need = job.total_requirement
+        got = delivered[job.id]
+        if job.id in result.aborted:
+            if got > need:
+                violations.append(
+                    f"aborted job {job.id} over-delivered: {got} > {need}"
+                )
+            continue
+        if got != need:
+            violations.append(
+                f"job {job.id} delivered {got}, needs {need}"
+            )
+        if job.id not in result.completion_times:
+            violations.append(f"job {job.id} has no completion time")
+    return ValidationReport(
+        ok=not violations,
+        violations=violations,
+        makespan=result.makespan,
+    )
+
+
+def degradation_report(result: FaultedResult) -> Dict:
+    """A JSON-able summary of the degradation a plan caused."""
+    ratio = result.degradation
+    return {
+        "makespan": result.makespan,
+        "fault_free_makespan": result.fault_free_makespan,
+        "degradation_exact": str(ratio) if ratio is not None else None,
+        "degradation": float(ratio) if ratio is not None else None,
+        "events_planned": len(result.plan),
+        "events_applied": result.n_applied(),
+        "events_by_kind": result.plan.counts(),
+        "jobs": result.instance.n,
+        "jobs_aborted": len(result.aborted),
+        "jobs_completed": len(result.completion_times),
+        "segments": len(result.segments),
+        "checkpoints": len(result.checkpoints),
+    }

@@ -110,6 +110,13 @@ class StatsObserver(Observer):
     def on_span(self, name: str, seconds: float) -> None:
         self.metrics.inc(f"span_seconds.{name}", seconds)
 
+    def on_fault(self, event, info: Dict) -> None:
+        m = self.metrics
+        m.inc("faults_total")
+        m.inc(f"faults_kind.{event.kind}")
+        if not info.get("applied", True):
+            m.inc("faults_skipped")
+
     def on_run_end(self, state, summary: Dict) -> None:
         m = self.metrics
         waste = self._run_waste

@@ -49,6 +49,15 @@ class Observer:
     def on_span(self, name: str, seconds: float) -> None:
         """A wall-clock phase *name* completed in *seconds*."""
 
+    def on_fault(self, event, info: Dict) -> None:
+        """A fault event was applied (or skipped) by an injector.
+
+        *event* is a :class:`repro.faults.FaultEvent` (duck-typed: has
+        ``t``/``kind`` and kind-specific fields); *info* carries at least
+        ``t`` (the wall-clock step it fired at), ``applied`` (whether it
+        took effect) and ``layer``.
+        """
+
     def on_run_end(self, state, summary: Dict) -> None:
         """The run finished; *summary* carries makespan and statistics."""
 
@@ -80,6 +89,10 @@ class MultiObserver(Observer):
     def on_span(self, name: str, seconds: float) -> None:
         for obs in self.observers:
             obs.on_span(name, seconds)
+
+    def on_fault(self, event, info: Dict) -> None:
+        for obs in self.observers:
+            obs.on_fault(event, info)
 
     def on_run_end(self, state, summary: Dict) -> None:
         for obs in self.observers:

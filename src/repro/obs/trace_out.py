@@ -11,6 +11,8 @@ carries the repetition.  The record types are:
   job keys stringified), processor assignments when the engine manages
   them, exact ``waste`` and the two saturation flags;
 * ``span`` — a wall-clock phase (``scale``/``loop``/``emit``/``validate``);
+* ``fault`` — one injected fault event (kind, wall-clock step, whether it
+  was applied, and the kind-specific payload; see :mod:`repro.faults`);
 * ``summary`` — makespan plus the accumulated Theorem-3.3 statistics.
 
 :func:`read_trace` round-trips a file back into records with ``shares`` /
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from fractions import Fraction
 from typing import Dict, Iterator, List, Optional
 
@@ -60,9 +63,17 @@ class JsonlTraceObserver(Observer):
     after every ``summary`` record, so independent runs — including runs
     in short-lived worker processes — interleave at record granularity
     without clobbering each other.
+
+    Write failures (disk full, closed descriptor, unwritable path) must
+    never kill a solve mid-run: on the first :class:`OSError`/
+    :class:`ValueError` the observer emits a :class:`RuntimeWarning` and
+    disables itself — all further events become no-ops, the partial trace
+    file is left as-is.
     """
 
-    __slots__ = ("path", "append", "_fh", "_run_index", "_decision_index")
+    __slots__ = (
+        "path", "append", "_fh", "_run_index", "_decision_index", "_disabled",
+    )
 
     def __init__(self, path: str, append: bool = False) -> None:
         self.path = path
@@ -70,14 +81,33 @@ class JsonlTraceObserver(Observer):
         self._fh = None
         self._run_index = 0
         self._decision_index = 0
+        self._disabled = False
 
     # ------------------------------------------------------------------
 
     def _write(self, record: Dict) -> None:
-        if self._fh is None:
-            mode = "a" if self.append else "w"
-            self._fh = open(self.path, mode, encoding="utf-8")
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        if self._disabled:
+            return
+        # ValueError covers writes to a descriptor closed behind our back
+        try:
+            if self._fh is None:
+                mode = "a" if self.append else "w"
+                self._fh = open(self.path, mode, encoding="utf-8")
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        except (OSError, ValueError) as exc:
+            self._disabled = True
+            try:
+                if self._fh is not None:
+                    self._fh.close()
+            except (OSError, ValueError):
+                pass
+            self._fh = None
+            warnings.warn(
+                f"trace output to {self.path!r} failed ({exc}); "
+                "tracing disabled for the rest of the run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def on_run_start(self, meta: Dict) -> None:
         self._decision_index = 0
@@ -120,6 +150,24 @@ class JsonlTraceObserver(Observer):
              "seconds": round(seconds, 9)}
         )
 
+    def on_fault(self, event, info: Dict) -> None:
+        record: Dict = {
+            "type": "fault",
+            "run": self._run_index,
+            "t": info.get("t"),
+            "kind": event.kind,
+            "planned_t": event.t,
+            "applied": bool(info.get("applied", True)),
+            "layer": info.get("layer"),
+        }
+        if getattr(event, "processor", None) is not None:
+            record["processor"] = event.processor
+        if getattr(event, "capacity", None) is not None:
+            record["capacity"] = str(Fraction(event.capacity))
+        if getattr(event, "job", None) is not None:
+            record["job"] = _key_str(event.job)
+        self._write(record)
+
     def on_run_end(self, state, summary: Dict) -> None:
         record = {"type": "summary", "run": self._run_index,
                   "decisions": self._decision_index}
@@ -131,7 +179,10 @@ class JsonlTraceObserver(Observer):
 
     def close(self) -> None:
         if self._fh is not None:
-            self._fh.close()
+            try:
+                self._fh.close()
+            except (OSError, ValueError):
+                self._disabled = True
             self._fh = None
 
     def __enter__(self) -> "JsonlTraceObserver":
@@ -165,6 +216,8 @@ def _parse_exact(record: Dict) -> Dict:
         record["waste"] = Fraction(record["waste"])
     if "total_waste" in record:
         record["total_waste"] = Fraction(record["total_waste"])
+    if "capacity" in record:
+        record["capacity"] = Fraction(record["capacity"])
     return record
 
 

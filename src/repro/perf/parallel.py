@@ -16,21 +16,53 @@ Worker functions must be module-level (picklable) and should import what
 they need lazily so fork/spawn both work.  The worker count resolves, in
 order: the explicit ``workers=`` argument, the ``REPRO_WORKERS``
 environment variable, and finally ``os.cpu_count()``.
+
+Hardening (the fault-tolerant sweep runner): ``timeout=`` bounds each
+task's wall clock, ``retries=`` re-runs tasks whose *worker* died or
+timed out — with exponential backoff plus deterministic jitter — and a
+crashed pool (``BrokenProcessPool``) is rebuilt between rounds.  Because
+trials are pure functions of their item (all randomness comes from
+:func:`seed_for`), a retry returns the same value the lost attempt would
+have, so results stay worker-count independent.  Exceptions *raised by
+fn itself* are deterministic failures and propagate immediately — only
+infrastructure failures are retried.  When everything else fails the
+runner degrades to a serial in-process map (unless a timeout is set, in
+which case a :class:`ParallelExecutionError` reports the surviving
+failure).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    wait,
+)
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 U = TypeVar("U")
 
-__all__ = ["auto_workers", "seed_for", "parallel_map"]
+__all__ = [
+    "auto_workers",
+    "seed_for",
+    "parallel_map",
+    "ParallelExecutionError",
+]
 
 #: below this many items the pool overhead outweighs the fan-out
 _MIN_PARALLEL_ITEMS = 4
+
+#: base backoff delay between retry rounds (seconds)
+_BACKOFF_BASE = 0.05
+
+
+class ParallelExecutionError(RuntimeError):
+    """A task kept failing (worker crash / timeout) after all retries."""
 
 
 def auto_workers(workers: Optional[int] = None) -> int:
@@ -66,6 +98,10 @@ def parallel_map(
     items: Sequence[T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = _BACKOFF_BASE,
+    jitter_seed: int = 0,
 ) -> List[U]:
     """Map *fn* over *items*, fanning out across processes; ordered results.
 
@@ -73,18 +109,132 @@ def parallel_map(
     when the item count is tiny, or when the pool cannot be created (e.g.
     restricted sandboxes) — results are identical either way because all
     randomness is derived per item via :func:`seed_for`.
+
+    *timeout* (seconds) bounds each task; *retries* bounds how many times
+    a task lost to a crashed worker or a timeout is re-submitted.  Retry
+    rounds sleep ``backoff · 2^attempt`` scaled by a deterministic jitter
+    factor in [1, 2) derived from ``(jitter_seed, attempt)`` — jitter
+    affects only the sleep, never the results.  Exceptions raised by *fn*
+    are deterministic and propagate immediately, without retry.
     """
     items = list(items)
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
     n_workers = min(auto_workers(workers), max(len(items), 1))
     if n_workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS:
-        return [fn(item) for item in items]
-    if chunksize is None:
-        chunksize = max(1, len(items) // (4 * n_workers))
+        return _serial_map(fn, items, timeout)
+    if timeout is None:
+        # fast path: one chunked pool.map (identical to the pre-hardening
+        # behavior); dropped only when a worker dies mid-sweep
+        if chunksize is None:
+            chunksize = max(1, len(items) // (4 * n_workers))
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                return list(pool.map(fn, items, chunksize=chunksize))
+        except (OSError, PermissionError):  # pragma: no cover - sandbox
+            return _serial_map(fn, items, timeout)
+        except BrokenExecutor:
+            if retries == 0:
+                return _serial_map(fn, items, timeout)
+            # a worker died; re-run with per-task tracking so only the
+            # lost tasks pay the retry
     try:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
-    except (OSError, PermissionError):  # pragma: no cover - sandbox fallback
-        return [fn(item) for item in items]
+        return _map_with_futures(
+            fn, items, n_workers, timeout, retries, backoff, jitter_seed
+        )
+    except (OSError, PermissionError):  # pragma: no cover - sandbox
+        return _serial_map(fn, items, timeout)
+
+
+def _serial_map(
+    fn: Callable[[T], U], items: Sequence[T], timeout: Optional[float]
+) -> List[U]:
+    """In-process fallback.  A per-task timeout cannot be enforced without
+    process isolation; tasks simply run to completion."""
+    return [fn(item) for item in items]
+
+
+def _jitter_factor(jitter_seed: int, attempt: int) -> float:
+    """Deterministic jitter in [1, 2): a SplitMix64 draw scaled down."""
+    return 1.0 + seed_for(jitter_seed, attempt) / 2.0**64
+
+
+def _map_with_futures(
+    fn: Callable[[T], U],
+    items: Sequence[T],
+    n_workers: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    jitter_seed: int,
+) -> List[U]:
+    """Per-task submission with crash/timeout detection and bounded retry.
+
+    Each retry round gets a fresh pool (a ``BrokenProcessPool`` poisons
+    the old one; a timed-out round may leave hung workers behind, so the
+    old pool is abandoned with ``cancel_futures`` rather than joined).
+    """
+    results: Dict[int, U] = {}
+    pending: List[int] = list(range(len(items)))
+    last_error: Optional[BaseException] = None
+    for attempt in range(retries + 1):
+        if not pending:
+            break
+        if attempt > 0:
+            time.sleep(backoff * (2 ** (attempt - 1))
+                       * _jitter_factor(jitter_seed, attempt))
+        pool = ProcessPoolExecutor(max_workers=min(n_workers, len(pending)))
+        try:
+            futures = {pool.submit(fn, items[i]): i for i in pending}
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            still: List[int] = []
+            not_done = set(futures)
+            while not_done:
+                budget = None
+                if deadline is not None:
+                    budget = max(0.0, deadline - time.monotonic())
+                done, not_done = wait(
+                    not_done, timeout=budget, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # timed out: everything still running is abandoned
+                    # and queued for retry
+                    last_error = FuturesTimeoutError(
+                        f"{len(not_done)} task(s) exceeded {timeout}s"
+                    )
+                    still.extend(futures[f] for f in not_done)
+                    break
+                for future in done:
+                    index = futures[future]
+                    exc = future.exception()
+                    if exc is None:
+                        results[index] = future.result()
+                    elif isinstance(exc, BrokenExecutor):
+                        last_error = exc
+                        still.append(index)
+                        # the pool is poisoned; everything not finished
+                        # must go to the next round
+                        still.extend(futures[f] for f in not_done)
+                        not_done = set()
+                    else:
+                        # deterministic failure inside fn: do not retry
+                        raise exc
+            pending = sorted(set(still))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+    if pending:
+        if timeout is None:
+            # infrastructure kept failing; last resort: run serially
+            for i in pending:
+                results[i] = fn(items[i])
+        else:
+            raise ParallelExecutionError(
+                f"{len(pending)} task(s) still failing after "
+                f"{retries + 1} attempt(s): {last_error}"
+            ) from last_error
+    return [results[i] for i in range(len(items))]
 
 
 def map_reduce(

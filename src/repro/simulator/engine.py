@@ -15,13 +15,23 @@ method returning the share vector for the next step.  The engine enforces:
 * every *started* unfinished job keeps being processed (non-preemption) —
   a policy that starves a started job raises :class:`PolicyViolation`;
 * shares are capped at ``min(r_j, s_j(t-1))`` (the model's w.l.o.g. cap).
+
+``fault_plan=`` injects a :class:`~repro.faults.FaultPlan` *into the
+model itself*: before each step the engine applies every due event —
+processor crashes/restores shrink the machine the vetter checks against
+(and the crashed processor's job migrates on its next step), capacity
+dips lower the per-step budget, and aborts force-finish a job.  Unlike
+:func:`repro.faults.run_with_faults` (which reschedules residuals), the
+*policy under test* has to cope with the events live; the vetter holds
+it to the degraded machine's rules.  Violation messages carry the step,
+the job id and the offending quantity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Protocol
+from typing import Dict, List, Optional, Protocol
 
 from ..core.instance import Instance
 from ..core.schedule import Schedule
@@ -47,6 +57,9 @@ class SimulationResult:
 
     schedule: Schedule
     completion_times: Dict[int, int] = field(default_factory=dict)
+    #: job id -> step an injected ``abort`` event cancelled it (subset of
+    #: ``completion_times`` keys — a forced finish records its step there)
+    aborted: Dict[int, int] = field(default_factory=dict)
     #: metrics accumulated by ``collect_stats=True`` (else ``None``)
     stats: object = field(default=None, repr=False, compare=False)
 
@@ -72,6 +85,7 @@ class SimulationEngine:
         max_steps: int = 1_000_000,
         observer=None,
         collect_stats: bool = False,
+        fault_plan=None,
     ) -> None:
         self.instance = instance
         self.policy = policy
@@ -79,6 +93,10 @@ class SimulationEngine:
         self.max_steps = max_steps
         self.observer = observer
         self.collect_stats = collect_stats
+        self.fault_plan = fault_plan
+        #: capacity dip currently in effect (1 until a ``dip`` event)
+        self._capacity = Fraction(1)
+        self._aborted: Dict[int, int] = {}
 
     def run(self) -> SimulationResult:
         from ..obs import setup_observer, span
@@ -87,6 +105,8 @@ class SimulationEngine:
         with span(obs, "scale"):
             state = SchedulerState(self.instance)
             state.trace = []  # record vetted steps for the Schedule
+            # live per-step budget, visible to capacity-aware policies
+            state.capacity = min(self.budget, Fraction(1))
         if obs is not None:
             obs.on_run_start(
                 {
@@ -98,24 +118,45 @@ class SimulationEngine:
                 }
             )
         engine = self
+        engine._capacity = Fraction(1)
+        engine._aborted = {}
+        events = list(self.fault_plan.events) if self.fault_plan else []
+        cursor = [0]
 
         class _VettedPolicy:
             """Adapter: vet the wrapped policy's raw shares each step."""
 
             def decide(self, st: SchedulerState) -> StepDecision:
+                while cursor[0] < len(events) and events[cursor[0]].t <= st.t:
+                    ev = events[cursor[0]]
+                    cursor[0] += 1
+                    ok = engine._apply_fault(st, ev)
+                    if obs is not None:
+                        obs.on_fault(
+                            ev,
+                            {"t": st.t, "applied": ok, "layer": "simulator"},
+                        )
+                if not st._unfinished:
+                    # an abort emptied the instance mid-decision; stop the
+                    # loop without charging a phantom idle step
+                    raise _AllJobsAborted
+                st.capacity = min(engine.budget, engine._capacity)
                 shares = engine._vet(st, engine.policy.decide(st))
                 return StepDecision(shares=shares, case="simulated")
 
         with span(obs, "loop"):
-            run_loop(
-                state,
-                _VettedPolicy(),
-                self.max_steps,
-                lambda: PolicyViolation(
-                    f"no completion within max_steps={self.max_steps}"
-                ),
-                observer=obs,
-            )
+            try:
+                run_loop(
+                    state,
+                    _VettedPolicy(),
+                    self.max_steps,
+                    lambda: PolicyViolation(
+                        f"no completion within max_steps={self.max_steps}"
+                    ),
+                    observer=obs,
+                )
+            except _AllJobsAborted:
+                pass
         with span(obs, "emit"):
             schedule = Schedule(instance=self.instance)
             for shares, procs, count, _case, _window in state.trace:
@@ -132,26 +173,61 @@ class SimulationEngine:
         return SimulationResult(
             schedule=schedule,
             completion_times=dict(state.completion_times),
+            aborted=dict(self._aborted),
             stats=metrics,
         )
 
     # ------------------------------------------------------------------
 
+    def _apply_fault(self, state: SchedulerState, ev) -> bool:
+        """Apply one fault event to the live state; False if it is moot."""
+        if ev.kind == "crash":
+            if (
+                ev.processor >= state.m
+                or ev.processor in state._down_processors
+            ):
+                return False
+            state.set_processor_down(ev.processor)
+            return True
+        if ev.kind == "restore":
+            if ev.processor not in state._down_processors:
+                return False
+            state.set_processor_up(ev.processor)
+            return True
+        if ev.kind == "dip":
+            if ev.capacity == self._capacity:
+                return False
+            self._capacity = ev.capacity
+            return True
+        # abort
+        if ev.job not in state.remaining or state.is_finished(ev.job):
+            return False
+        state.force_finish(ev.job)
+        self._aborted[ev.job] = state.t
+        return True
+
     def _vet(
         self, state: SchedulerState, raw: Dict[int, Fraction]
     ) -> Dict[int, Fraction]:
+        step = state.t + 1
+        budget = min(self.budget, self._capacity)
         shares: Dict[int, Fraction] = {}
         total = Fraction(0)
         for job_id, share in raw.items():
             if job_id not in state.remaining:
-                raise PolicyViolation(f"unknown job id {job_id}")
+                raise PolicyViolation(
+                    f"step {step}: unknown job id {job_id}"
+                )
             if share < 0:
-                raise PolicyViolation(f"negative share for job {job_id}")
+                raise PolicyViolation(
+                    f"step {step}: negative share {share} for job {job_id}"
+                )
             if share == 0:
                 continue
             if state.is_finished(job_id):
                 raise PolicyViolation(
-                    f"policy scheduled finished job {job_id}"
+                    f"step {step}: policy scheduled finished job {job_id}"
+                    f" (share {share})"
                 )
             capped = min(
                 share,
@@ -162,17 +238,31 @@ class SimulationEngine:
                 continue
             shares[job_id] = capped
             total += capped
-        if total > self.budget:
+        if total > budget:
             raise PolicyViolation(
-                f"resource overuse: {total} > {self.budget}"
+                f"step {step}: resource overuse: total share {total}"
+                f" exceeds budget {budget}"
             )
-        if len(shares) > self.instance.m:
+        online = state.available_processors()
+        if len(shares) > online:
             raise PolicyViolation(
-                f"{len(shares)} concurrent jobs exceed m={self.instance.m}"
+                f"step {step}: {len(shares)} concurrent jobs exceed the"
+                f" {online} online processor(s) (m={self.instance.m})"
             )
-        for job_id in state.started_jobs():
-            if job_id not in shares:
-                raise PolicyViolation(
-                    f"started job {job_id} starved (non-preemption violated)"
-                )
+        started = state.started_jobs()
+        missing = [j for j in started if j not in shares]
+        # under faults, non-preemption bends exactly as far as the machine
+        # forces it: a started job may be dropped only when every online
+        # processor is taken by another started job
+        if missing and len(started) - len(missing) < min(
+            len(started), online
+        ):
+            raise PolicyViolation(
+                f"step {step}: started job {missing[0]} starved"
+                " (non-preemption violated)"
+            )
         return shares
+
+
+class _AllJobsAborted(Exception):
+    """Internal control flow: every remaining job was abort-cancelled."""

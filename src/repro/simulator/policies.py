@@ -5,6 +5,15 @@ from the live state — it is the step-exact algorithm factored as an online
 policy, and the test suite asserts that running it through the
 :class:`~repro.simulator.engine.SimulationEngine` reproduces the optimized
 scheduler's makespan exactly.
+
+All policies here are *machine-condition aware*: they read the live
+per-step budget from ``state.capacity`` (set by the engine when a fault
+plan dips the resource) and the online processor count from
+``state.available_processors()``.  On a fault-free machine both equal
+the paper's constants (budget 1, ``m`` processors), so decisions are
+unchanged.  When a dip squeezes started jobs below their running total,
+the baselines throttle all started shares proportionally — exact in
+Fractions — rather than violate the budget.
 """
 
 from __future__ import annotations
@@ -17,6 +26,14 @@ from ..core.state import SchedulerState
 from ..core.window import compute_window
 
 
+def _machine(state: SchedulerState):
+    """Live (budget, online processor count) for this step."""
+    budget = getattr(state, "capacity", None)
+    if budget is None:
+        budget = Fraction(1)
+    return budget, state.available_processors()
+
+
 class SlidingWindowPolicy:
     """Listing 1 as an online policy (step-exact)."""
 
@@ -25,12 +42,12 @@ class SlidingWindowPolicy:
         self._window_size = window_size
 
     def decide(self, state: SchedulerState) -> Dict[int, Fraction]:
+        budget, _online = _machine(state)
         size = (
             self._window_size
             if self._window_size is not None
             else max(state.instance.m - 1, 1)
         )
-        budget = Fraction(1)
         self._window = compute_window(state, self._window, size, budget)
         assignment = compute_assignment(
             state, self._window, budget, allow_extra_start=True
@@ -58,19 +75,23 @@ class ListSchedulingPolicy:
         self.order = order
 
     def decide(self, state: SchedulerState) -> Dict[int, Fraction]:
-        budget = Fraction(1)
+        budget, online = _machine(state)
         shares: Dict[int, Fraction] = {}
         used = Fraction(0)
-        procs = state.instance.m
+        procs = online
         for job_id in state.started_jobs():
+            if procs <= 0:
+                break  # crash-forced drop; the vetter permits exactly this
             full = min(
                 state.instance.requirement(job_id),
-                Fraction(1),
+                budget,
                 state.remaining[job_id],
             )
             shares[job_id] = full
             used += full
             procs -= 1
+        if used > budget:
+            return _throttle(shares, used, budget)
         candidates = [
             j for j in state.unfinished() if not state.is_started(j)
         ]
@@ -78,7 +99,7 @@ class ListSchedulingPolicy:
         for job_id in candidates:
             if procs <= 0:
                 break
-            full = min(state.instance.requirement(job_id), Fraction(1))
+            full = min(state.instance.requirement(job_id), budget)
             if used + full <= budget:
                 shares[job_id] = min(full, state.remaining[job_id])
                 used += shares[job_id]
@@ -105,19 +126,23 @@ class GreedyFillPolicy:
     """
 
     def decide(self, state: SchedulerState) -> Dict[int, Fraction]:
-        budget = Fraction(1)
+        budget, online = _machine(state)
         shares: Dict[int, Fraction] = {}
         used = Fraction(0)
-        procs = state.instance.m
+        procs = online
         for job_id in state.started_jobs():
+            if procs <= 0:
+                break  # crash-forced drop; the vetter permits exactly this
             full = min(
                 state.instance.requirement(job_id),
-                Fraction(1),
+                budget,
                 state.remaining[job_id],
             )
             shares[job_id] = full
             used += full
             procs -= 1
+        if used > budget:
+            return _throttle(shares, used, budget)
         fresh = sorted(
             (j for j in state.unfinished() if not state.is_started(j)),
             key=lambda j: (-state.instance.requirement(j), j),
@@ -125,12 +150,12 @@ class GreedyFillPolicy:
         for job_id in fresh:
             if procs <= 0 or used >= budget:
                 break
-            full = min(state.instance.requirement(job_id), Fraction(1))
+            full = min(state.instance.requirement(job_id), budget)
             if used + full <= budget:
                 shares[job_id] = min(full, state.remaining[job_id])
                 used += shares[job_id]
                 procs -= 1
-        if not shares and state.n_unfinished() > 0:
+        if not shares and state.n_unfinished() > 0 and procs > 0:
             # nothing fits fully: admit the smallest-requirement job with a
             # partial share so the policy always progresses
             job_id = min(
@@ -141,3 +166,11 @@ class GreedyFillPolicy:
                 state.remaining[job_id],
             )
         return shares
+
+
+def _throttle(
+    shares: Dict[int, Fraction], used: Fraction, budget: Fraction
+) -> Dict[int, Fraction]:
+    """Scale a share vector down to *budget* proportionally (exact)."""
+    factor = Fraction(budget, used)
+    return {j: s * factor for j, s in shares.items()}

@@ -72,13 +72,15 @@ def run_sequential(
     record_steps: bool = True,
     backend: str = "auto",
     observer=None,
+    step_limit=None,
 ) -> SequentialResult:
     """Run the engine over *tasks* in the given order with *m* processors
     and per-step resource *budget*.  *observer* receives the run's
-    engine events (see :mod:`repro.obs`)."""
+    engine events (see :mod:`repro.obs`); *step_limit* truncates the run
+    (tasks unfinished at the limit have no completion time)."""
     completion, makespan, raw_steps = _engine.run_sequential_tasks(
         tasks, m, budget, record_steps=record_steps, backend=backend,
-        observer=observer,
+        observer=observer, step_limit=step_limit,
     )
     steps: List[StepRecord] = []
     if raw_steps is not None:

@@ -9,18 +9,25 @@ from repro.cli import build_parser, main
 #: subcommand must expose --backend, every trace-bearing one --trace-out.
 EXPECTED_FLAGS = {
     "demo": {"backend"},
-    "srj": {"family", "m", "n", "seed", "backend", "trace_out"},
+    "srj": {"family", "m", "n", "seed", "backend", "trace_out", "fault_plan"},
     "binpack": {"k", "n", "seed", "backend"},
-    "tasks": {"family", "m", "k", "seed", "backend", "trace_out"},
+    "tasks": {
+        "family", "m", "k", "seed", "backend", "trace_out", "fault_plan",
+    },
     "experiment": {"id", "scale", "seed", "csv"},
     "generate": {"family", "m", "n", "seed", "output"},
     "solve": {
         "input", "algorithm", "gantt", "output", "max_steps", "backend",
-        "trace_out",
+        "trace_out", "fault_plan",
     },
     "validate": {"instance", "schedule"},
     "stats": {
         "input", "family", "m", "n", "seed", "algorithm", "json",
+        "backend", "trace_out",
+    },
+    "faults": {
+        "input", "family", "m", "n", "seed", "plan", "fault_seed",
+        "events", "horizon", "checkpoint_every", "save_plan", "json",
         "backend", "trace_out",
     },
     "selftest": {"trials", "seed"},
@@ -176,6 +183,86 @@ class TestFileCommands:
                 ["solve", "--input", str(inst_path), "--algorithm", algo]
             ) == 0
             assert "makespan=" in capsys.readouterr().out
+
+    def test_faults_subcommand(self, capsys):
+        assert main(
+            ["faults", "-m", "4", "-n", "12", "--fault-seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out
+        assert "recovered schedule: valid" in out
+
+    def test_faults_json_and_save_plan(self, tmp_path, capsys):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        assert main(
+            [
+                "faults", "-m", "4", "-n", "12", "--fault-seed", "5",
+                "--save-plan", str(plan_path), "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["valid"] is True
+        assert plan_path.exists()
+        # the saved plan drives srj/solve/tasks via --fault-plan
+        assert main(
+            ["srj", "-m", "4", "-n", "12", "--fault-plan", str(plan_path)]
+        ) == 0
+        assert "degradation" in capsys.readouterr().out
+        assert main(
+            ["tasks", "-m", "4", "-k", "5", "--fault-plan", str(plan_path)]
+        ) == 0
+        assert "faulted sum completion times" in capsys.readouterr().out
+
+    def test_solve_fault_plan(self, tmp_path, capsys):
+        inst_path = tmp_path / "inst.json"
+        plan_path = tmp_path / "plan.json"
+        main(["generate", "-m", "4", "-n", "10", "-o", str(inst_path)])
+        main(
+            ["faults", "-m", "4", "-n", "10", "--fault-seed", "1",
+             "--save-plan", str(plan_path)]
+        )
+        capsys.readouterr()
+        assert main(
+            ["solve", "--input", str(inst_path),
+             "--fault-plan", str(plan_path)]
+        ) == 0
+        assert "faulted makespan" in capsys.readouterr().out
+        # only the window algorithm supports fault plans
+        assert main(
+            ["solve", "--input", str(inst_path), "--algorithm", "greedy",
+             "--fault-plan", str(plan_path)]
+        ) == 2
+
+    def test_malformed_instance_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("this is not json\n")
+        assert main(["solve", "--input", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro-sched: error:")
+        assert "Traceback" not in captured.err
+
+    def test_missing_instance_exits_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["solve", "--input", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "repro-sched: error:" in capsys.readouterr().err
+
+    def test_malformed_fault_plan_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"m": 2}\n')
+        assert main(
+            ["srj", "-m", "4", "-n", "8", "--fault-plan", str(bad)]
+        ) == 2
+        assert "repro-sched: error:" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["srj", "-m", "4", "-n", "8", "--backend", "bogus"])
+        assert exc_info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_validate_rejects_mismatched_schedule(self, tmp_path, capsys):
         inst_a = tmp_path / "a.json"

