@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-srt bench-obs obs-smoke perf-check lint-hotpath faults-smoke check
+.PHONY: test bench-smoke bench bench-srt bench-obs bench-incremental obs-smoke perf-check lint-hotpath faults-smoke sweep-smoke check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,17 @@ bench-srt:
 
 bench-obs:
 	$(PYTHON) -m repro.perf.bench_obs --scale small -o BENCH_3.json
+
+# incremental BENCH regeneration on the experiment fabric: points are
+# content-addressed in .repro-cache/sweeps, so only points whose inputs
+# (grid, seed, reps, schema salt) changed are re-timed (docs/SCALING.md)
+bench-incremental:
+	$(PYTHON) -m repro.perf.bench --scale small -o BENCH_1.json \
+		--cache-dir .repro-cache/sweeps
+	$(PYTHON) -m repro.perf.bench_srt --scale small -o BENCH_2.json \
+		--cache-dir .repro-cache/sweeps
+	$(PYTHON) -m repro.perf.bench_obs --scale small -o BENCH_3.json \
+		--cache-dir .repro-cache/sweeps
 
 # observability gates: observer overhead (BENCH_3.json; no-op <= 5%,
 # full stats <= 30%) plus a stats-CLI toy run whose observer/result
@@ -53,4 +64,11 @@ lint-hotpath:
 		|| (echo "lint-hotpath: exact-rational arithmetic found in engine hot path" && exit 1)
 	@echo "lint-hotpath: OK"
 
-check: test lint-hotpath perf-check bench-smoke obs-smoke faults-smoke
+# sweep-fabric smoke: tiny sweep -> interrupt -> resume; verifies the
+# resumed report is bit-identical, a repeated run has 100% cache hits
+# (0 points re-solved) and half-shards merge to the same report
+sweep-smoke:
+	$(PYTHON) -m repro.sweep.smoke
+	@echo "sweep-smoke: OK"
+
+check: test lint-hotpath perf-check bench-smoke obs-smoke faults-smoke sweep-smoke

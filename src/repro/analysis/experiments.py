@@ -6,11 +6,16 @@ Every function returns an :class:`~repro.analysis.tables.ExperimentTable`
 and takes a ``scale`` knob (``"small"`` for CI-fast runs, ``"full"`` for the
 benchmark harness).
 
-The heavy sweeps (E1, E4, E5 — and the F-series in :mod:`.figures`) fan
-out across CPU cores via :func:`repro.perf.parallel_map`.  Each grid point
-derives its own RNG seed with :func:`repro.perf.seed_for`, so the tables
-are bit-identical regardless of the worker count (pass ``workers=1`` to
-force serial execution, or set ``REPRO_WORKERS``).
+The heavy sweeps (E1, E4, E5 — and the F-series in :mod:`.figures`) run
+on the experiment fabric (:mod:`repro.sweep`): each becomes a
+:class:`~repro.sweep.SweepSpec` whose grid points carry their own
+:func:`repro.perf.seed_for`-derived seed, fanned out across CPU cores via
+:func:`repro.sweep.run_sweep` on the hardened
+:func:`repro.perf.parallel_map`.  The tables are bit-identical regardless
+of the worker count (pass ``workers=1`` to force serial execution, or set
+``REPRO_WORKERS``), and passing ``cache_dir=`` makes repeated sweeps
+incremental — already-solved grid points come from the content-addressed
+store.
 """
 
 from __future__ import annotations
@@ -18,9 +23,10 @@ from __future__ import annotations
 import random
 import time
 from fractions import Fraction
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..perf import parallel_map, seed_for, solve_srj
+from ..perf import seed_for, solve_srj
+from ..sweep import SweepSpec, run_sweep
 
 from ..baselines import BASELINES
 from ..binpacking import (
@@ -76,24 +82,25 @@ def _scale_params(scale: str) -> Dict[str, int]:
 # ---------------------------------------------------------------------------
 
 
-def _e1_family_trial(task: Tuple[str, int, int, int]) -> float:
+def _e1_family_trial(params: Dict) -> float:
     """One E1 grid-point trial (module-level so it pickles to workers)."""
-    family, m, n, trial_seed = task
-    rng = random.Random(trial_seed)
-    inst = make_instance(family, rng, m, n)
+    rng = random.Random(params["seed"])
+    inst = make_instance(params["family"], rng, params["m"], params["n"])
     res = solve_srj(inst)
     return res.makespan / makespan_lower_bound(inst)
 
 
-def _e1_planted_trial(task: Tuple[int, int, int]) -> float:
-    m, horizon, trial_seed = task
-    rng = random.Random(trial_seed)
-    inst, opt = planted_instance(rng, m, horizon=horizon)
+def _e1_planted_trial(params: Dict) -> float:
+    rng = random.Random(params["seed"])
+    inst, opt = planted_instance(rng, params["m"], horizon=params["horizon"])
     return solve_srj(inst).makespan / opt
 
 
 def run_e1(
-    scale: str = "small", seed: int = 0, workers: int | None = None
+    scale: str = "small",
+    seed: int = 0,
+    workers: int | None = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Empirical ratio of Listing 1 vs the Eq.(1) lower bound, per m and
     workload family; the theoretical bound ``2 + 1/(m-2)`` must dominate.
@@ -119,12 +126,18 @@ def run_e1(
         for m in (3, 4, 6, 8, 16, 32, 64)
         for family in ("uniform", "bimodal", "heavy_tail", "correlated")
     ]
-    tasks = [
-        (family, m, p["n"], seed_for(seed, ci * trials + t))
-        for ci, (m, family) in enumerate(cells)
-        for t in range(trials)
-    ]
-    ratios = parallel_map(_e1_family_trial, tasks, workers=workers)
+    spec = SweepSpec.from_points(
+        "e1-family",
+        _e1_family_trial,
+        [
+            {"family": family, "m": m, "n": p["n"],
+             "seed": seed_for(seed, ci * trials + t)}
+            for ci, (m, family) in enumerate(cells)
+            for t in range(trials)
+        ],
+        version="v1",
+    )
+    ratios = run_sweep(spec, workers=workers, cache_dir=cache_dir).rows
     for ci, (m, family) in enumerate(cells):
         s = Summary.of(ratios[ci * trials : (ci + 1) * trials])
         table.add_row(
@@ -133,12 +146,20 @@ def run_e1(
         )
     # planted-optimum rows: ratio vs the *true* OPT, not just the bound
     planted_ms = (4, 8, 16)
-    planted_tasks = [
-        (m, p["n"] // 2, seed_for(seed, 10_000 + mi * trials + t))
-        for mi, m in enumerate(planted_ms)
-        for t in range(trials)
-    ]
-    planted = parallel_map(_e1_planted_trial, planted_tasks, workers=workers)
+    planted_spec = SweepSpec.from_points(
+        "e1-planted",
+        _e1_planted_trial,
+        [
+            {"m": m, "horizon": p["n"] // 2,
+             "seed": seed_for(seed, 10_000 + mi * trials + t)}
+            for mi, m in enumerate(planted_ms)
+            for t in range(trials)
+        ],
+        version="v1",
+    )
+    planted = run_sweep(
+        planted_spec, workers=workers, cache_dir=cache_dir
+    ).rows
     for mi, m in enumerate(planted_ms):
         s = Summary.of(planted[mi * trials : (mi + 1) * trials])
         table.add_row(
@@ -261,14 +282,15 @@ def run_e3(scale: str = "small", seed: int = 0) -> ExperimentTable:
 # ---------------------------------------------------------------------------
 
 
-def _e4_point(task: Tuple[str, int, int, int, int, int]) -> Tuple[float, float, int]:
+def _e4_point(params: Dict) -> Tuple[float, float, int]:
     """Time one E4 sweep point on both backends (best-of-*reps* each).
 
     Returns ``(fraction_seconds, int_seconds, makespan)``; the two backends
     must agree on the makespan (the int kernel is exact, not approximate).
     """
-    label, value, m, n, inst_seed, reps = task
-    rng = random.Random(inst_seed)
+    label, value = params["label"], params["value"]
+    m, n, reps = params["m"], params["n"], params["reps"]
+    rng = random.Random(params["seed"])
     inst = make_instance("uniform", rng, m, n)
     best: Dict[str, float] = {}
     spans: Dict[str, int] = {}
@@ -289,7 +311,10 @@ def _e4_point(task: Tuple[str, int, int, int, int, int]) -> Tuple[float, float, 
 
 
 def run_e4(
-    scale: str = "small", seed: int = 0, workers: int | None = None
+    scale: str = "small",
+    seed: int = 0,
+    workers: int | None = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Wall-clock scaling of the accelerated scheduler; a power-law fit of
     time vs n should have exponent ≈ 2 or below (the O((m+n)n) claim).
@@ -316,16 +341,22 @@ def run_e4(
         notes=["power-law exponents appended as notes",
                "both backends produce identical schedules (asserted)"],
     )
-    tasks = [
-        ("n (m=%d)" % m_fixed, n, m_fixed, n, seed_for(seed, i), reps)
+    params_list = [
+        {"label": "n (m=%d)" % m_fixed, "value": n, "m": m_fixed, "n": n,
+         "seed": seed_for(seed, i), "reps": reps}
         for i, n in enumerate(ns)
     ] + [
-        ("m (n=%d)" % n_fixed, m, m, n_fixed, seed_for(seed, 100 + i), reps)
+        {"label": "m (n=%d)" % n_fixed, "value": m, "m": m, "n": n_fixed,
+         "seed": seed_for(seed, 100 + i), "reps": reps}
         for i, m in enumerate(ms)
     ]
-    results = parallel_map(_e4_point, tasks, workers=workers)
+    spec = SweepSpec.from_points(
+        "e4-runtime", _e4_point, params_list, version="v1"
+    )
+    results = run_sweep(spec, workers=workers, cache_dir=cache_dir).rows
     times_frac_n, times_int_n, times_int_m = [], [], []
-    for (label, value, *_rest), (frac_s, int_s, steps) in zip(tasks, results):
+    for p, (frac_s, int_s, steps) in zip(params_list, results):
+        label, value = p["label"], p["value"]
         speedup = frac_s / int_s if int_s > 0 else float("inf")
         table.add_row(
             label, value, round(frac_s, 5), round(int_s, 5),
@@ -351,11 +382,12 @@ def run_e4(
 
 
 def _e5_cell(
-    task: Tuple[int, int, str, int, int]
+    params: Dict,
 ) -> Tuple[List[float], List[float], List[float]]:
     """Run all trials of one E5 grid cell (picklable worker)."""
-    m, k, family, trials, cell_seed = task
-    rng = random.Random(cell_seed)
+    m, k, family = params["m"], params["k"], params["family"]
+    trials = params["trials"]
+    rng = random.Random(params["seed"])
     r_split: List[float] = []
     r_fifo: List[float] = []
     r_job: List[float] = []
@@ -373,7 +405,10 @@ def _e5_cell(
 
 
 def run_e5(
-    scale: str = "small", seed: int = 0, workers: int | None = None
+    scale: str = "small",
+    seed: int = 0,
+    workers: int | None = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """SRT sum of completion times vs the Lemma 4.3 lower bound, sweeping
     the number of tasks k; the o(1) term should shrink with k.
@@ -397,11 +432,17 @@ def run_e5(
         for k in ks
         for family in ("mixed", "cloud")
     ]
-    tasks = [
-        (m, k, family, trials, seed_for(seed, ci))
-        for ci, (m, k, family) in enumerate(cells)
-    ]
-    results = parallel_map(_e5_cell, tasks, workers=workers)
+    spec = SweepSpec.from_points(
+        "e5-srt",
+        _e5_cell,
+        [
+            {"m": m, "k": k, "family": family, "trials": trials,
+             "seed": seed_for(seed, ci)}
+            for ci, (m, k, family) in enumerate(cells)
+        ],
+        version="v1",
+    )
+    results = run_sweep(spec, workers=workers, cache_dir=cache_dir).rows
     for (m, k, family), (r_split, r_fifo, r_job) in zip(cells, results):
         table.add_row(
             m, k, family,

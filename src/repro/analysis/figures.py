@@ -11,21 +11,24 @@ points of one figure:
   on both the Fraction and the exact scaled-integer backend;
 * **F3** — SRT ratio vs number of tasks k: the ``o(1)`` term's decay.
 
-F1 and F3 fan their grid cells out across CPU cores via
-:func:`repro.perf.parallel_map` with deterministic per-cell seeds; F2 is a
-timing series and stays serial on purpose (concurrent workers would
-contend for cores and distort the measured wall clock).
+F1 and F3 run on the experiment fabric (:mod:`repro.sweep`): their grid
+cells become :class:`~repro.sweep.SweepSpec` points with deterministic
+per-cell seeds, fanned out across CPU cores (and optionally cached via
+``cache_dir=``).  F2 is a timing series and stays serial on purpose
+(concurrent workers would contend for cores and distort the measured
+wall clock).
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.bounds import makespan_lower_bound
 from ..core.scheduler import schedule_srj
-from ..perf import parallel_map, seed_for, solve_srj
+from ..perf import seed_for, solve_srj
+from ..sweep import SweepSpec, run_sweep
 from ..tasks import schedule_tasks, srt_guarantee_factor, srt_lower_bound
 from ..workloads import make_instance, make_taskset
 from .ratios import theoretical_ratio
@@ -33,13 +36,13 @@ from .stats import Summary
 from .tables import ExperimentTable
 
 
-def _f1_cell(task: Tuple[int, str, int, int, int]) -> float:
+def _f1_cell(params: Dict) -> float:
     """Mean empirical ratio for one (m, family) cell (picklable worker)."""
-    m, family, n, trials, cell_seed = task
-    rng = random.Random(cell_seed)
+    m, family = params["m"], params["family"]
+    rng = random.Random(params["seed"])
     ratios = []
-    for _ in range(trials):
-        inst = make_instance(family, rng, m, n)
+    for _ in range(params["trials"]):
+        inst = make_instance(family, rng, m, params["n"])
         ratios.append(
             solve_srj(inst).makespan / makespan_lower_bound(inst)
         )
@@ -47,7 +50,10 @@ def _f1_cell(task: Tuple[int, str, int, int, int]) -> float:
 
 
 def run_f1(
-    scale: str = "small", seed: int = 0, workers: int | None = None
+    scale: str = "small",
+    seed: int = 0,
+    workers: int | None = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Ratio-vs-m curves (series: one column per family + the guarantee)."""
     trials = 4 if scale == "small" else 15
@@ -60,11 +66,17 @@ def run_f1(
         headers=["m"] + [f"ratio({f})" for f in families] + ["2+1/(m-2)"],
     )
     cells = [(m, family) for m in ms for family in families]
-    tasks = [
-        (m, family, n, trials, seed_for(seed, ci))
-        for ci, (m, family) in enumerate(cells)
-    ]
-    means = parallel_map(_f1_cell, tasks, workers=workers)
+    spec = SweepSpec.from_points(
+        "f1-ratio",
+        _f1_cell,
+        [
+            {"m": m, "family": family, "n": n, "trials": trials,
+             "seed": seed_for(seed, ci)}
+            for ci, (m, family) in enumerate(cells)
+        ],
+        version="v1",
+    )
+    means = run_sweep(spec, workers=workers, cache_dir=cache_dir).rows
     per_m = {m: [] for m in ms}
     for (m, _family), mean in zip(cells, means):
         per_m[m].append(mean)
@@ -116,12 +128,12 @@ def run_f2(scale: str = "small", seed: int = 0) -> ExperimentTable:
     return table
 
 
-def _f3_cell(task: Tuple[int, int, str, int, int]) -> float:
+def _f3_cell(params: Dict) -> float:
     """Mean SRT ratio for one (k, family) cell (picklable worker)."""
-    m, k, family, trials, cell_seed = task
-    rng = random.Random(cell_seed)
+    m, k, family = params["m"], params["k"], params["family"]
+    rng = random.Random(params["seed"])
     ratios = []
-    for _ in range(trials):
+    for _ in range(params["trials"]):
         ti = make_taskset(family, rng, m, k)
         lb = srt_lower_bound(ti)
         if lb:
@@ -130,7 +142,10 @@ def _f3_cell(task: Tuple[int, int, str, int, int]) -> float:
 
 
 def run_f3(
-    scale: str = "small", seed: int = 0, workers: int | None = None
+    scale: str = "small",
+    seed: int = 0,
+    workers: int | None = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """SRT ratio vs k — the o(1) additive term must decay as k grows."""
     ks = [4, 8, 16, 32, 64] if scale == "small" else [
@@ -147,11 +162,17 @@ def run_f3(
     factor = round(float(srt_guarantee_factor(m)), 4)
     families = ("mixed", "cloud")
     cells = [(k, family) for k in ks for family in families]
-    tasks = [
-        (m, k, family, trials, seed_for(seed, ci))
-        for ci, (k, family) in enumerate(cells)
-    ]
-    means = parallel_map(_f3_cell, tasks, workers=workers)
+    spec = SweepSpec.from_points(
+        "f3-srt-ratio",
+        _f3_cell,
+        [
+            {"m": m, "k": k, "family": family, "trials": trials,
+             "seed": seed_for(seed, ci)}
+            for ci, (k, family) in enumerate(cells)
+        ],
+        version="v1",
+    )
+    means = run_sweep(spec, workers=workers, cache_dir=cache_dir).rows
     for ki, k in enumerate(ks):
         row: List[object] = [k]
         row.extend(

@@ -517,6 +517,61 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .perf.bench import parse_shard
+    from .sweep import DEFAULT_CACHE_DIR, sweep_status
+    from .sweep.registry import get_sweep
+
+    entry = get_sweep(args.name)
+    if args.cache_dir is None:
+        args.cache_dir = DEFAULT_CACHE_DIR
+
+    if args.action == "status":
+        status = sweep_status(
+            entry.build_spec(args.scale, args.seed), args.cache_dir
+        )
+        if args.json:
+            print(_json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(
+                f"{status['sweep']} ({status['version'] or 'unversioned'}, "
+                f"spec {status['spec_key']}): "
+                f"{status['cached']}/{status['total']} points cached "
+                f"({'complete' if status['complete'] else 'incomplete'}), "
+                f"{status['store_entries']} store entries in {args.cache_dir}"
+            )
+        return 0
+
+    # "run" and "resume" are the same operation — the content-addressed
+    # store makes every run incremental; "resume" just states the intent
+    shard = parse_shard(args.shard)
+    out = args.out if args.out is not None else (
+        None if shard is not None else entry.default_out
+    )
+    report = entry.run(
+        args.scale, args.seed, args.cache_dir, args.workers, shard, out
+    )
+    cache = report.get("cache", {})
+    rows = report.get("rows", [])
+    print(
+        f"{entry.name}: {len(rows)} rows "
+        f"({cache.get('hits', 0)} cached, {cache.get('solved', 0)} solved)"
+        + (f"; wrote {out}" if out else "")
+    )
+    summary = report.get("summary")
+    if summary is not None and not args.json:
+        for key, value in summary.items():
+            print(f"  {key:<28} {value}")
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    # gated sweeps (bench-obs) carry a pass flag; surface it as exit status
+    if summary is not None and summary.get("passed") is False:
+        return 1
+    return 0
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     from .analysis.selftest import format_selftest, run_selftest
 
@@ -705,6 +760,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_flag(p)
     add_trace_flag(p)
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run/resume/status a registered sweep on the experiment "
+        "fabric (content-addressed cache, sharding; docs/SCALING.md)",
+    )
+    p.add_argument(
+        "action", choices=("run", "resume", "status"),
+        help="'run' and 'resume' are the same incremental operation; "
+        "'status' reports cache coverage without solving anything",
+    )
+    p.add_argument(
+        "name",
+        help="registered sweep: bench, bench-srt, bench-obs, faultsweep",
+    )
+    p.add_argument("--scale", choices=("small", "full"), default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result store "
+        "(default: .repro-cache/sweeps)",
+    )
+    p.add_argument(
+        "--shard", default=None, metavar="I/K",
+        help="run only points with index %% K == I into the shared cache",
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="report artifact (default: the sweep's canonical file, "
+        "e.g. BENCH_1.json; suppressed for sharded runs)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the full report/status as JSON",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "selftest", help="quick internal consistency battery"

@@ -4,11 +4,20 @@ Runs the E4-style runtime sweep (uniform family, n-sweep at fixed m plus an
 m-sweep at fixed n) on the Fraction reference backend and the scaled-integer
 kernel, cross-checks that both produce identical makespans, and records
 
-* per-point wall-clock (best of ``reps``) for both backends and the speedup,
+* per-point wall-clock (median of ``reps``, with the mean alongside for
+  continuity) for both backends and the speedup,
 * the power-law exponents of time vs n (the Theorem 3.3 scaling claim),
 * peak RSS of the process (``resource.getrusage``, portable — no psutil),
 
 into a JSON file so subsequent PRs have a perf trajectory to diff against.
+
+The sweep itself runs on the experiment fabric (:mod:`repro.sweep`):
+points are content-addressed, so ``--cache-dir`` makes repeated runs
+incremental (only points whose parameters changed are re-timed — the
+``make bench-incremental`` path), and ``--shard i/k`` splits the grid
+across processes/machines sharing one cache.  Timing points always
+execute serially in-process (``serial=True``) so concurrent workers never
+distort the measured wall clock.
 
 Usage::
 
@@ -27,17 +36,20 @@ import argparse
 import json
 import platform
 import resource
+import statistics
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from ..sweep import SweepSpec, run_sweep, scale_grid
 from .intkernel import solve_srj
 from .parallel import seed_for
 
-__all__ = ["run_bench", "peak_rss_kb", "write_report"]
+__all__ = ["run_bench", "bench_spec", "peak_rss_kb", "write_report"]
 
-#: schema version of the emitted JSON (bump on incompatible change)
-SCHEMA = 1
+#: schema version of the emitted JSON (bump on incompatible change);
+#: 2 = timing columns are median-of-reps with ``*_mean_s`` alongside
+SCHEMA = 2
 
 
 def peak_rss_kb() -> int:
@@ -52,24 +64,67 @@ def peak_rss_kb() -> int:
 
 
 def _sweep_points(scale: str) -> Dict[str, List[int]]:
-    if scale == "small":
-        return {"ns": [50, 100, 200, 400], "ms": [4, 8, 16, 32],
-                "n_fixed": [200], "m_fixed": [8], "reps": [2]}
-    if scale == "full":
-        return {"ns": [100, 200, 400, 800, 1600], "ms": [4, 8, 16, 32, 64],
-                "n_fixed": [800], "m_fixed": [8], "reps": [3]}
-    raise ValueError(f"unknown scale {scale!r}")
+    """The E4 grid (now shared via :func:`repro.sweep.scale_grid`)."""
+    return scale_grid("srj", scale)
 
 
-def _time_backend(inst, backend: str, reps: int) -> tuple:
-    best = float("inf")
+def _time_backend(inst, backend: str, reps: int) -> Tuple[List[float], int]:
+    times: List[float] = []
     makespan = 0
     for _ in range(reps):
         t0 = time.perf_counter()
         res = solve_srj(inst, backend=backend)
-        best = min(best, time.perf_counter() - t0)
+        times.append(time.perf_counter() - t0)
         makespan = res.makespan
-    return best, makespan
+    return times, makespan
+
+
+def _bench_point(params: Dict) -> Dict[str, object]:
+    """Solve-and-time one grid point (pure function of *params*)."""
+    from ..workloads import make_instance
+    import random
+
+    m, n, reps = params["m"], params["n"], params["reps"]
+    rng = random.Random(params["seed"])
+    inst = make_instance("uniform", rng, m, n)
+    t_frac, mk_frac = _time_backend(inst, "fraction", reps)
+    t_int, mk_int = _time_backend(inst, "int", reps)
+    if mk_frac != mk_int:
+        raise AssertionError(
+            f"backend mismatch at (m={m}, n={n}): "
+            f"fraction makespan {mk_frac} != int makespan {mk_int}"
+        )
+    med_frac, med_int = statistics.median(t_frac), statistics.median(t_int)
+    return {
+        "sweep": params["sweep"], "m": m, "n": n, "makespan": mk_frac,
+        "fraction_s": round(med_frac, 6), "int_s": round(med_int, 6),
+        "speedup": round(med_frac / med_int, 2) if med_int > 0
+        else float("inf"),
+        "fraction_mean_s": round(sum(t_frac) / len(t_frac), 6),
+        "int_mean_s": round(sum(t_int) / len(t_int), 6),
+    }
+
+
+def bench_spec(
+    scale: str = "small", seed: int = 0, reps: Optional[int] = None
+) -> SweepSpec:
+    """The E4 runtime sweep as a fabric spec (n-sweep then m-sweep)."""
+    p = _sweep_points(scale)
+    reps = reps if reps is not None else p["reps"][0]
+    m_fixed, n_fixed = p["m_fixed"][0], p["n_fixed"][0]
+    params: List[Dict] = []
+    idx = 0
+    for n in p["ns"]:
+        params.append({"sweep": "n", "m": m_fixed, "n": n,
+                       "seed": seed_for(seed, idx), "reps": reps})
+        idx += 1
+    for m in p["ms"]:
+        params.append({"sweep": "m", "m": m, "n": n_fixed,
+                       "seed": seed_for(seed, idx), "reps": reps})
+        idx += 1
+    return SweepSpec.from_points(
+        "bench-srj", _bench_point, params, version=f"v{SCHEMA}", serial=True
+    )
 
 
 def run_bench(
@@ -77,60 +132,47 @@ def run_bench(
     seed: int = 0,
     out: Optional[str] = None,
     reps: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> Dict[str, object]:
-    """Run the two-backend E4 sweep; return (and optionally write) a report."""
-    from ..workloads import make_instance
-    import random
+    """Run the two-backend E4 sweep; return (and optionally write) a report.
 
-    p = _sweep_points(scale)
-    reps = reps if reps is not None else p["reps"][0]
-    m_fixed, n_fixed = p["m_fixed"][0], p["n_fixed"][0]
-    rows: List[Dict[str, object]] = []
-
-    def run_point(sweep: str, m: int, n: int, idx: int) -> None:
-        rng = random.Random(seed_for(seed, idx))
-        inst = make_instance("uniform", rng, m, n)
-        t_frac, mk_frac = _time_backend(inst, "fraction", reps)
-        t_int, mk_int = _time_backend(inst, "int", reps)
-        if mk_frac != mk_int:
-            raise AssertionError(
-                f"backend mismatch at (m={m}, n={n}): "
-                f"fraction makespan {mk_frac} != int makespan {mk_int}"
-            )
-        rows.append({
-            "sweep": sweep, "m": m, "n": n, "makespan": mk_frac,
-            "fraction_s": round(t_frac, 6), "int_s": round(t_int, 6),
-            "speedup": round(t_frac / t_int, 2) if t_int > 0 else float("inf"),
-        })
-
-    idx = 0
-    for n in p["ns"]:
-        run_point("n", m_fixed, n, idx)
-        idx += 1
-    for m in p["ms"]:
-        run_point("m", m, n_fixed, idx)
-        idx += 1
-
-    n_rows = [r for r in rows if r["sweep"] == "n"]
-    largest = max(n_rows, key=lambda r: r["n"])
-    from ..analysis.stats import fit_power_law
-
-    exp_frac, _ = fit_power_law(
-        [float(r["n"]) for r in n_rows], [max(r["fraction_s"], 1e-9) for r in n_rows]
+    With *cache_dir*, previously solved points are reused (their recorded
+    timings included) and only new points are timed; with *shard* only the
+    ``index % k == i`` slice runs and the summary is omitted (``partial``)
+    until an unsharded merge run assembles the full report from cache.
+    """
+    spec = bench_spec(scale=scale, seed=seed, reps=reps)
+    sweep = run_sweep(
+        spec, cache_dir=cache_dir, workers=workers, shard=shard
     )
-    exp_int, _ = fit_power_law(
-        [float(r["n"]) for r in n_rows], [max(r["int_s"], 1e-9) for r in n_rows]
-    )
+    rows = sweep.rows
     report: Dict[str, object] = {
         "schema": SCHEMA,
         "bench": "E4 runtime, fraction vs int backend",
         "scale": scale,
         "seed": seed,
-        "reps": reps,
+        "reps": spec.points[0].params["reps"] if spec.points else reps,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cache": {"hits": sweep.cache_hits, "solved": sweep.solved},
         "rows": rows,
-        "summary": {
+    }
+    if sweep.complete:
+        n_rows = [r for r in rows if r["sweep"] == "n"]
+        largest = max(n_rows, key=lambda r: r["n"])
+        from ..analysis.stats import fit_power_law
+
+        exp_frac, _ = fit_power_law(
+            [float(r["n"]) for r in n_rows],
+            [max(r["fraction_s"], 1e-9) for r in n_rows],
+        )
+        exp_int, _ = fit_power_law(
+            [float(r["n"]) for r in n_rows],
+            [max(r["int_s"], 1e-9) for r in n_rows],
+        )
+        report["summary"] = {
             "largest_n": largest["n"],
             "speedup_at_largest_n": largest["speedup"],
             "max_speedup": max(r["speedup"] for r in rows),
@@ -138,8 +180,9 @@ def run_bench(
             "power_law_exponent_fraction": round(exp_frac, 3),
             "power_law_exponent_int": round(exp_int, 3),
             "peak_rss_kb": peak_rss_kb(),
-        },
-    }
+        }
+    else:
+        report["partial"] = True
     if out:
         write_report(report, out)
     return report
@@ -152,6 +195,34 @@ def write_report(report: Dict[str, object], path: str) -> None:
         fh.write("\n")
 
 
+def parse_shard(text: Optional[str]) -> Optional[Tuple[int, int]]:
+    """Parse an ``i/k`` shard flag (e.g. ``0/4``) into a tuple."""
+    if text is None:
+        return None
+    try:
+        i_text, k_text = text.split("/", 1)
+        i, k = int(i_text), int(k_text)
+    except ValueError:
+        raise ValueError(f"invalid shard {text!r}: expected i/k") from None
+    if k < 1 or not (0 <= i < k):
+        raise ValueError(f"invalid shard {text!r}: need 0 <= i < k")
+    return (i, k)
+
+
+def add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """The fabric flags shared by every bench CLI."""
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache; repeated runs only solve "
+        "new points (see docs/SCALING.md)",
+    )
+    parser.add_argument(
+        "--shard", default=None, metavar="I/K",
+        help="run only points with index %% K == I into the shared cache",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.bench",
@@ -160,15 +231,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", choices=("small", "full"), default="small")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("-o", "--out", default="BENCH_1.json")
+    add_sweep_flags(parser)
     args = parser.parse_args(argv)
-    report = run_bench(scale=args.scale, seed=args.seed, out=args.out)
-    s = report["summary"]
-    print(f"wrote {args.out}")
-    print(
-        f"speedup at n={s['largest_n']}: {s['speedup_at_largest_n']}x "
-        f"(max {s['max_speedup']}x, min {s['min_speedup']}x); "
-        f"peak RSS {s['peak_rss_kb']} KiB"
+    report = run_bench(
+        scale=args.scale, seed=args.seed, out=args.out,
+        cache_dir=args.cache_dir, shard=parse_shard(args.shard),
     )
+    print(f"wrote {args.out}")
+    if "summary" in report:
+        s = report["summary"]
+        print(
+            f"speedup at n={s['largest_n']}: {s['speedup_at_largest_n']}x "
+            f"(max {s['max_speedup']}x, min {s['min_speedup']}x); "
+            f"peak RSS {s['peak_rss_kb']} KiB"
+        )
+    else:
+        c = report["cache"]
+        print(
+            f"partial (shard {args.shard}): {len(report['rows'])} rows, "
+            f"{c['hits']} cached, {c['solved']} solved"
+        )
     return 0
 
 

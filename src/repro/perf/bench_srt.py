@@ -6,11 +6,17 @@ into ``BENCH_1.json``): runs the Theorem-4.8 SRT scheduler
 rational backend and the engine's LCM-rescaled integer backend,
 cross-checks that both produce identical completion times, and records
 
-* per-point wall-clock (best of ``reps``) for both backends and the speedup,
+* per-point wall-clock (median of ``reps``, mean alongside) for both
+  backends and the speedup,
 * the power-law exponents of time vs the number of tasks,
 * peak RSS of the process,
 
 into a JSON file so subsequent PRs have a perf trajectory to diff against.
+
+Like every sweep, this runs on the experiment fabric (:mod:`repro.sweep`):
+``--cache-dir`` makes repeated runs incremental, ``--shard i/k`` splits
+the grid across a shared cache, and timing points execute serially so the
+wall clock stays undistorted.
 
 Usage::
 
@@ -26,40 +32,89 @@ or from code / the benchmark harness::
 from __future__ import annotations
 
 import argparse
-import json
 import platform
+import statistics
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from .bench import peak_rss_kb, write_report
+from ..sweep import SweepSpec, run_sweep, scale_grid
+from .bench import add_sweep_flags, parse_shard, peak_rss_kb, write_report
 from .parallel import seed_for
 
-__all__ = ["run_bench_srt", "write_report"]
+__all__ = ["run_bench_srt", "bench_srt_spec", "write_report"]
 
-#: schema version of the emitted JSON (bump on incompatible change)
-SCHEMA = 1
+#: schema version of the emitted JSON (bump on incompatible change);
+#: 2 = timing columns are median-of-reps with ``*_mean_s`` alongside
+SCHEMA = 2
 
 
 def _sweep_points(scale: str) -> Dict[str, List[int]]:
-    if scale == "small":
-        return {"ks": [10, 20, 40, 80], "ms": [4, 8, 16],
-                "k_fixed": [40], "m_fixed": [8], "reps": [2]}
-    if scale == "full":
-        return {"ks": [20, 40, 80, 160, 320], "ms": [4, 8, 16, 32],
-                "k_fixed": [160], "m_fixed": [8], "reps": [3]}
-    raise ValueError(f"unknown scale {scale!r}")
+    """The SRT grid (now shared via :func:`repro.sweep.scale_grid`)."""
+    return scale_grid("srt", scale)
 
 
 def _time_backend(ti, backend: str, reps: int) -> tuple:
     from ..tasks import solve_srt
 
-    best = float("inf")
+    times: List[float] = []
     result = None
     for _ in range(reps):
         t0 = time.perf_counter()
         result = solve_srt(ti, backend=backend)
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+        times.append(time.perf_counter() - t0)
+    return times, result
+
+
+def _bench_srt_point(params: Dict) -> Dict[str, object]:
+    """Solve-and-time one SRT grid point (pure function of *params*)."""
+    import random
+
+    from ..workloads import make_taskset
+
+    m, k, reps = params["m"], params["k"], params["reps"]
+    rng = random.Random(params["seed"])
+    ti = make_taskset("mixed", rng, m, k)
+    t_frac, res_frac = _time_backend(ti, "fraction", reps)
+    t_int, res_int = _time_backend(ti, "int", reps)
+    if res_frac.completion_times != res_int.completion_times:
+        raise AssertionError(
+            f"backend mismatch at (m={m}, k={k}): completion times "
+            "differ between fraction and int"
+        )
+    med_frac, med_int = statistics.median(t_frac), statistics.median(t_int)
+    return {
+        "sweep": params["sweep"], "m": m, "k": k, "n_jobs": ti.n_jobs,
+        "makespan": res_frac.makespan,
+        "sum_completion": res_frac.sum_completion_times(),
+        "fraction_s": round(med_frac, 6), "int_s": round(med_int, 6),
+        "speedup": round(med_frac / med_int, 2) if med_int > 0
+        else float("inf"),
+        "fraction_mean_s": round(sum(t_frac) / len(t_frac), 6),
+        "int_mean_s": round(sum(t_int) / len(t_int), 6),
+    }
+
+
+def bench_srt_spec(
+    scale: str = "small", seed: int = 0, reps: Optional[int] = None
+) -> SweepSpec:
+    """The SRT runtime sweep as a fabric spec (k-sweep then m-sweep)."""
+    p = _sweep_points(scale)
+    reps = reps if reps is not None else p["reps"][0]
+    m_fixed, k_fixed = p["m_fixed"][0], p["k_fixed"][0]
+    params: List[Dict] = []
+    idx = 0
+    for k in p["ks"]:
+        params.append({"sweep": "k", "m": m_fixed, "k": k,
+                       "seed": seed_for(seed, idx), "reps": reps})
+        idx += 1
+    for m in p["ms"]:
+        params.append({"sweep": "m", "m": m, "k": k_fixed,
+                       "seed": seed_for(seed, idx), "reps": reps})
+        idx += 1
+    return SweepSpec.from_points(
+        "bench-srt", _bench_srt_point, params, version=f"v{SCHEMA}",
+        serial=True,
+    )
 
 
 def run_bench_srt(
@@ -67,65 +122,41 @@ def run_bench_srt(
     seed: int = 0,
     out: Optional[str] = None,
     reps: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> Dict[str, object]:
     """Run the two-backend SRT sweep; return (and optionally write) a report."""
-    import random
-
-    from ..workloads import make_taskset
-
-    p = _sweep_points(scale)
-    reps = reps if reps is not None else p["reps"][0]
-    m_fixed, k_fixed = p["m_fixed"][0], p["k_fixed"][0]
-    rows: List[Dict[str, object]] = []
-
-    def run_point(sweep: str, m: int, k: int, idx: int) -> None:
-        rng = random.Random(seed_for(seed, idx))
-        ti = make_taskset("mixed", rng, m, k)
-        t_frac, res_frac = _time_backend(ti, "fraction", reps)
-        t_int, res_int = _time_backend(ti, "int", reps)
-        if res_frac.completion_times != res_int.completion_times:
-            raise AssertionError(
-                f"backend mismatch at (m={m}, k={k}): completion times "
-                "differ between fraction and int"
-            )
-        rows.append({
-            "sweep": sweep, "m": m, "k": k, "n_jobs": ti.n_jobs,
-            "makespan": res_frac.makespan,
-            "sum_completion": res_frac.sum_completion_times(),
-            "fraction_s": round(t_frac, 6), "int_s": round(t_int, 6),
-            "speedup": round(t_frac / t_int, 2) if t_int > 0 else float("inf"),
-        })
-
-    idx = 0
-    for k in p["ks"]:
-        run_point("k", m_fixed, k, idx)
-        idx += 1
-    for m in p["ms"]:
-        run_point("m", m, k_fixed, idx)
-        idx += 1
-
-    k_rows = [r for r in rows if r["sweep"] == "k"]
-    largest = max(k_rows, key=lambda r: r["k"])
-    from ..analysis.stats import fit_power_law
-
-    exp_frac, _ = fit_power_law(
-        [float(r["k"]) for r in k_rows],
-        [max(r["fraction_s"], 1e-9) for r in k_rows],
+    spec = bench_srt_spec(scale=scale, seed=seed, reps=reps)
+    sweep = run_sweep(
+        spec, cache_dir=cache_dir, workers=workers, shard=shard
     )
-    exp_int, _ = fit_power_law(
-        [float(r["k"]) for r in k_rows],
-        [max(r["int_s"], 1e-9) for r in k_rows],
-    )
+    rows = sweep.rows
     report: Dict[str, object] = {
         "schema": SCHEMA,
         "bench": "SRT runtime, fraction vs int backend",
         "scale": scale,
         "seed": seed,
-        "reps": reps,
+        "reps": spec.points[0].params["reps"] if spec.points else reps,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cache": {"hits": sweep.cache_hits, "solved": sweep.solved},
         "rows": rows,
-        "summary": {
+    }
+    if sweep.complete:
+        k_rows = [r for r in rows if r["sweep"] == "k"]
+        largest = max(k_rows, key=lambda r: r["k"])
+        from ..analysis.stats import fit_power_law
+
+        exp_frac, _ = fit_power_law(
+            [float(r["k"]) for r in k_rows],
+            [max(r["fraction_s"], 1e-9) for r in k_rows],
+        )
+        exp_int, _ = fit_power_law(
+            [float(r["k"]) for r in k_rows],
+            [max(r["int_s"], 1e-9) for r in k_rows],
+        )
+        report["summary"] = {
             "largest_k": largest["k"],
             "largest_n_jobs": largest["n_jobs"],
             "speedup_at_largest_k": largest["speedup"],
@@ -134,8 +165,9 @@ def run_bench_srt(
             "power_law_exponent_fraction": round(exp_frac, 3),
             "power_law_exponent_int": round(exp_int, 3),
             "peak_rss_kb": peak_rss_kb(),
-        },
-    }
+        }
+    else:
+        report["partial"] = True
     if out:
         write_report(report, out)
     return report
@@ -149,16 +181,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", choices=("small", "full"), default="small")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("-o", "--out", default="BENCH_2.json")
+    add_sweep_flags(parser)
     args = parser.parse_args(argv)
-    report = run_bench_srt(scale=args.scale, seed=args.seed, out=args.out)
-    s = report["summary"]
-    print(f"wrote {args.out}")
-    print(
-        f"speedup at k={s['largest_k']} ({s['largest_n_jobs']} jobs): "
-        f"{s['speedup_at_largest_k']}x "
-        f"(max {s['max_speedup']}x, min {s['min_speedup']}x); "
-        f"peak RSS {s['peak_rss_kb']} KiB"
+    report = run_bench_srt(
+        scale=args.scale, seed=args.seed, out=args.out,
+        cache_dir=args.cache_dir, shard=parse_shard(args.shard),
     )
+    print(f"wrote {args.out}")
+    if "summary" in report:
+        s = report["summary"]
+        print(
+            f"speedup at k={s['largest_k']} ({s['largest_n_jobs']} jobs): "
+            f"{s['speedup_at_largest_k']}x "
+            f"(max {s['max_speedup']}x, min {s['min_speedup']}x); "
+            f"peak RSS {s['peak_rss_kb']} KiB"
+        )
+    else:
+        c = report["cache"]
+        print(
+            f"partial (shard {args.shard}): {len(report['rows'])} rows, "
+            f"{c['hits']} cached, {c['solved']} solved"
+        )
     return 0
 
 

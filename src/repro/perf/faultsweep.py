@@ -7,11 +7,14 @@ seed (:func:`repro.perf.parallel.seed_for`), executes the instance under
 the plan on the scaled-integer backend, and validates the recovered
 schedule with :func:`repro.faults.validate_faulted`.
 
-The sweep fans out through the hardened :func:`repro.perf.parallel_map`
-— per-task timeouts, retry on crashed workers — and, because every
-trial is a pure function of ``(base_seed, index)``, the result table is
-bit-identical for any worker count (tested in
-``tests/test_parallel_hardening.py``).
+The sweep runs on the experiment fabric (:mod:`repro.sweep`), which fans
+trials out through the hardened :func:`repro.perf.parallel_map` — and,
+because every trial is a pure function of its parameters, the result
+table is bit-identical for any worker count, shard count or cache state
+(tested in ``tests/test_parallel_hardening.py`` and
+``tests/test_sweep.py``).  With ``--cache-dir``, an enlarged sweep (say
+``--trials 40`` after ``--trials 8``) only solves the 32 new trials: the
+first 8 share content addresses and come from the cache.
 
 Run it from the command line::
 
@@ -27,19 +30,25 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from ..faults import FaultPlan, run_with_faults, validate_faulted
+from ..sweep import SweepSpec, run_sweep
 from ..workloads import make_instance
-from .parallel import parallel_map, seed_for
+from .parallel import seed_for
 
-__all__ = ["fault_trial", "fault_sweep"]
+__all__ = ["fault_trial", "fault_sweep", "faultsweep_spec"]
+
+#: content-address salt; bump when the trial row schema changes
+VERSION = "v1"
 
 
-def fault_trial(task: Tuple[str, int, int, int, int, int]) -> Dict:
+def fault_trial(params: Dict) -> Dict:
     """One sweep cell: build instance + plan from the seed, run, validate.
 
-    *task* is ``(family, m, n, seed, events, horizon)``.  Module-level so
-    it pickles into pool workers.
+    *params* has keys ``family, m, n, seed, events, horizon``.  A pure
+    module-level function of its parameters, so it pickles into pool
+    workers and its result is content-addressable.
     """
-    family, m, n, seed, events, horizon = task
+    family, m, n = params["family"], params["m"], params["n"]
+    seed, events, horizon = params["seed"], params["events"], params["horizon"]
     rng = random.Random(seed)
     instance = make_instance(family, rng, m, n)
     plan = FaultPlan.random(
@@ -69,6 +78,26 @@ def fault_trial(task: Tuple[str, int, int, int, int, int]) -> Dict:
     }
 
 
+def faultsweep_spec(
+    family: str = "uniform",
+    m: int = 4,
+    n: int = 24,
+    trials: int = 20,
+    seed: int = 2026,
+    events: int = 6,
+    horizon: int = 200,
+) -> SweepSpec:
+    """The fault-injection sweep as a fabric spec (one point per trial)."""
+    params_list = [
+        {"family": family, "m": m, "n": n, "seed": seed_for(seed, i),
+         "events": events, "horizon": horizon}
+        for i in range(trials)
+    ]
+    return SweepSpec.from_points(
+        "faultsweep", fault_trial, params_list, version=VERSION
+    )
+
+
 def fault_sweep(
     family: str = "uniform",
     m: int = 4,
@@ -80,30 +109,31 @@ def fault_sweep(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 2,
+    cache_dir: Optional[str] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> List[Dict]:
     """Run *trials* independent fault-injection trials; ordered rows.
 
     Every row's randomness derives from ``seed_for(seed, index)``, so the
-    table does not depend on *workers*, *timeout* or *retries* — those
-    only shape how the work is executed.
+    table does not depend on *workers*, *timeout*, *retries*, *cache_dir*
+    or *shard* — those only shape how (and whether) the work is executed.
     """
-    tasks = [
-        (family, m, n, seed_for(seed, i), events, horizon)
-        for i in range(trials)
-    ]
-    return parallel_map(
-        fault_trial,
-        tasks,
-        workers=workers,
-        timeout=timeout,
-        retries=retries,
-        jitter_seed=seed,
+    spec = faultsweep_spec(
+        family=family, m=m, n=n, trials=trials, seed=seed,
+        events=events, horizon=horizon,
     )
+    report = run_sweep(
+        spec, cache_dir=cache_dir, workers=workers, shard=shard,
+        timeout=timeout, retries=retries,
+    )
+    return report.rows
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
     import argparse
     import json
+
+    from .bench import add_sweep_flags, parse_shard
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.faultsweep",
@@ -116,12 +146,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument("--events", type=int, default=6)
     parser.add_argument("--horizon", type=int, default=200)
-    parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--timeout", type=float, default=None)
     parser.add_argument("--retries", type=int, default=2)
     parser.add_argument(
         "--json", action="store_true", help="emit rows as JSON lines"
     )
+    add_sweep_flags(parser)
     args = parser.parse_args(argv)
 
     rows = fault_sweep(
@@ -135,6 +165,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
+        cache_dir=args.cache_dir,
+        shard=parse_shard(args.shard),
     )
     bad = 0
     if args.json:

@@ -1,0 +1,149 @@
+"""Named sweeps for the ``repro-sched sweep`` CLI.
+
+Each entry maps a stable name to (a) a spec builder, so ``sweep status``
+can report cache coverage without solving anything, and (b) a runner that
+produces the full report artifact (summary included) when the sweep is
+complete.  The entries wrap the migrated harnesses — the BENCH trio and
+the fault-injection stress sweep — so the CLI, the Makefile and CI all
+drive the exact same point enumerations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from .spec import SweepSpec
+
+__all__ = ["SweepEntry", "SWEEPS", "get_sweep"]
+
+#: faultsweep scale presets (the CLI-facing analogue of the bench grids)
+_FAULT_SCALE = {
+    "small": {"trials": 8, "m": 4, "n": 16, "events": 5, "horizon": 100},
+    "full": {"trials": 40, "m": 4, "n": 24, "events": 6, "horizon": 200},
+}
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One CLI-addressable sweep."""
+
+    name: str
+    description: str
+    default_out: str
+    build_spec: Callable[[str, int], SweepSpec]
+    run: Callable[..., Dict]  # (scale, seed, cache_dir, workers, shard, out)
+
+
+def _bench_entry() -> SweepEntry:
+    from ..perf.bench import bench_spec, run_bench
+
+    def run(scale, seed, cache_dir, workers, shard, out):
+        return run_bench(
+            scale=scale, seed=seed, out=out, cache_dir=cache_dir,
+            workers=workers, shard=shard,
+        )
+
+    return SweepEntry(
+        "bench", "E4 runtime bench, fraction vs int backend (BENCH_1)",
+        "BENCH_1.json", lambda scale, seed: bench_spec(scale, seed), run,
+    )
+
+
+def _bench_srt_entry() -> SweepEntry:
+    from ..perf.bench_srt import bench_srt_spec, run_bench_srt
+
+    def run(scale, seed, cache_dir, workers, shard, out):
+        return run_bench_srt(
+            scale=scale, seed=seed, out=out, cache_dir=cache_dir,
+            workers=workers, shard=shard,
+        )
+
+    return SweepEntry(
+        "bench-srt", "SRT runtime bench, fraction vs int backend (BENCH_2)",
+        "BENCH_2.json", lambda scale, seed: bench_srt_spec(scale, seed), run,
+    )
+
+
+def _bench_obs_entry() -> SweepEntry:
+    from ..perf.bench_obs import bench_obs_spec, run_bench_obs
+
+    def run(scale, seed, cache_dir, workers, shard, out):
+        return run_bench_obs(
+            scale=scale, seed=seed, out=out, cache_dir=cache_dir,
+            workers=workers, shard=shard,
+        )
+
+    return SweepEntry(
+        "bench-obs", "observer-overhead gate, three modes (BENCH_3)",
+        "BENCH_3.json", lambda scale, seed: bench_obs_spec(scale, seed), run,
+    )
+
+
+def _faultsweep_entry() -> SweepEntry:
+    from ..perf.bench import write_report
+    from ..perf.faultsweep import faultsweep_spec
+    from .runner import run_sweep
+
+    def build_spec(scale: str, seed: int) -> SweepSpec:
+        preset = dict(_FAULT_SCALE[_check_scale(scale)])
+        trials = preset.pop("trials")
+        return faultsweep_spec(trials=trials, seed=seed, **preset)
+
+    def run(scale, seed, cache_dir, workers, shard, out):
+        sweep = run_sweep(
+            build_spec(scale, seed), cache_dir=cache_dir,
+            workers=workers, shard=shard,
+        )
+        report = {
+            "sweep": "faultsweep", "scale": scale, "seed": seed,
+            "cache": {"hits": sweep.cache_hits, "solved": sweep.solved},
+            "rows": sweep.rows,
+        }
+        if sweep.complete:
+            report["summary"] = {
+                "trials": len(sweep.rows),
+                "invalid": sum(1 for r in sweep.rows if not r["valid"]),
+            }
+        else:
+            report["partial"] = True
+        if out:
+            write_report(report, out)
+        return report
+
+    return SweepEntry(
+        "faultsweep", "fault-injection stress sweep (validated recovery)",
+        "FAULTSWEEP.json", build_spec, run,
+    )
+
+
+def _check_scale(scale: str) -> str:
+    if scale not in _FAULT_SCALE:
+        raise ValueError(f"unknown scale {scale!r}")
+    return scale
+
+
+def _entries() -> Dict[str, SweepEntry]:
+    return {
+        e.name: e
+        for e in (
+            _bench_entry(), _bench_srt_entry(), _bench_obs_entry(),
+            _faultsweep_entry(),
+        )
+    }
+
+
+#: name -> entry, built lazily on first CLI use
+SWEEPS: Dict[str, SweepEntry] = {}
+
+
+def get_sweep(name: str) -> SweepEntry:
+    """The named entry; raises :class:`ValueError` with the valid names."""
+    if not SWEEPS:
+        SWEEPS.update(_entries())
+    try:
+        return SWEEPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep {name!r} (choose from: {', '.join(sorted(SWEEPS))})"
+        ) from None

@@ -1,0 +1,259 @@
+"""Sharded, checkpointed, resumable execution of a :class:`SweepSpec`.
+
+:func:`run_sweep` is the one engine behind every sweep in the repo:
+
+1. **Lookup** — every selected point is checked against the
+   content-addressed :class:`~repro.sweep.store.ResultStore`; cached rows
+   are taken as-is (they were solved by the same pure function of the
+   same parameters).
+2. **Solve** — the remaining points fan out through the hardened
+   :func:`repro.perf.parallel_map` in batches of ``checkpoint_every``;
+   after each batch every row is persisted, the journal is appended and
+   ``STATE.json`` is rewritten.  A killed sweep therefore resumes exactly
+   where it stopped: at worst the in-flight batch is re-solved, and
+   because points are pure, the re-solved rows are identical.
+3. **Assemble** — rows are ordered by point index, so the merged report
+   is bit-identical regardless of worker count, shard count, cache state
+   or how many times the sweep was interrupted.
+
+Sharding: ``shard=(i, k)`` runs the ``index % k == i`` residue class into
+the shared store; a final unsharded run then completes with 100% cache
+hits and assembles the full report.
+
+Observability: pass ``observer=`` for ``sweep/lookup`` / ``sweep/solve``
+phase spans and ``metrics=`` (or read ``report.metrics``) for the
+``sweep.points_total`` / ``sweep.cache_hits`` / ``sweep.points_solved``
+counters.  With a cache dir, a JSONL journal of start/point/end events is
+appended next to the cached rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.observer import Observer, span
+from ..perf.parallel import parallel_map
+from .spec import SweepPoint, SweepSpec
+from .store import NullStore, ResultStore
+
+__all__ = ["SweepReport", "run_sweep", "sweep_status"]
+
+#: persist results/state after this many newly solved points (default)
+CHECKPOINT_EVERY = 8
+
+
+def _solve_task(task):
+    """Module-level pool worker: ``(run_point, params) -> row``."""
+    fn, params = task
+    return fn(dict(params))
+
+
+def _canonical_row(row):
+    """Normalize a fresh row through a JSON round-trip so it is bit-equal
+    to the same row read back from the cache (tuples become lists, …)."""
+    return json.loads(json.dumps(row))
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :func:`run_sweep` call."""
+
+    name: str
+    version: str
+    total: int                    #: points selected (after sharding)
+    rows: List                    #: one row per completed point, index order
+    cache_hits: int
+    solved: int
+    complete: bool                #: every point of the *full* spec has a row
+    shard: Optional[Tuple[int, int]] = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "sweep": self.name,
+            "version": self.version,
+            "total": self.total,
+            "complete": self.complete,
+            "shard": None if self.shard is None else list(self.shard),
+            "cache": {"hits": self.cache_hits, "solved": self.solved},
+            "rows": self.rows,
+            "metrics": self.metrics.to_jsonable(),
+        }
+
+
+class _Journal:
+    """Append-only JSONL event log; silently disabled without a cache dir."""
+
+    def __init__(self, path: Optional[Path]) -> None:
+        self.path = path
+
+    def write(self, record: Dict) -> None:
+        if self.path is None:
+            return
+        record = {"ts": round(time.time(), 3), **record}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+        except OSError:  # journaling must never kill the sweep
+            self.path = None
+
+
+def _write_state(store, spec: SweepSpec, payload: Dict) -> None:
+    """Atomically rewrite ``STATE.json`` next to the cached rows."""
+    if store.dir is None:
+        return
+    path = store.dir / "STATE.json"
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".STATE.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"sweep": spec.name, "version": spec.version,
+                 "spec_key": spec.spec_key, **payload},
+                fh, indent=2,
+            )
+            fh.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    checkpoint_every: int = CHECKPOINT_EVERY,
+    stop_after: Optional[int] = None,
+    observer: Optional[Observer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+) -> SweepReport:
+    """Run *spec*, reusing every cached point; returns the ordered report.
+
+    ``cache_dir=None`` disables persistence (pure fan-out, every point is
+    solved).  ``stop_after=N`` solves at most *N* uncached points and then
+    returns an incomplete report — the deterministic stand-in for a
+    mid-sweep kill, used by the resume tests and ``make sweep-smoke``;
+    re-running the same call *is* the resume.  ``timeout``/``retries``
+    pass through to the hardened :func:`~repro.perf.parallel_map`.
+    """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    selected = spec.select(shard)
+    store = ResultStore(cache_dir, spec.name) if cache_dir else NullStore()
+    registry = metrics if metrics is not None else MetricsRegistry()
+    journal = _Journal(
+        store.dir / "JOURNAL.jsonl" if store.dir is not None else None
+    )
+
+    rows: Dict[int, object] = {}
+    misses: List[SweepPoint] = []
+    with span(observer, "sweep/lookup"):
+        for point in selected:
+            row = store.get(point.key)
+            if row is None:
+                misses.append(point)
+            else:
+                rows[point.index] = row
+    hits = len(rows)
+    journal.write({
+        "event": "start", "sweep": spec.name, "spec_key": spec.spec_key,
+        "selected": len(selected), "cached": hits,
+        "shard": None if shard is None else list(shard),
+    })
+
+    to_run = misses if stop_after is None else misses[: max(stop_after, 0)]
+    solved = 0
+
+    def checkpoint() -> None:
+        _write_state(store, spec, {
+            "selected": len(selected),
+            "done": len(rows),
+            "cache_hits": hits,
+            "solved": solved,
+            "shard": None if shard is None else list(shard),
+            "complete": len(rows) == len(spec.points),
+        })
+
+    run_workers = 1 if spec.serial else workers
+    try:
+        with span(observer, "sweep/solve"):
+            for start in range(0, len(to_run), checkpoint_every):
+                batch = to_run[start : start + checkpoint_every]
+                out = parallel_map(
+                    _solve_task,
+                    [(spec.run_point, p.params) for p in batch],
+                    workers=run_workers,
+                    timeout=timeout,
+                    retries=retries,
+                )
+                for point, row in zip(batch, out):
+                    row = _canonical_row(row)
+                    store.put(point.key, point.params, row)
+                    rows[point.index] = row
+                    solved += 1
+                    journal.write({
+                        "event": "point", "index": point.index,
+                        "key": point.key, "cached": False,
+                    })
+                checkpoint()
+    except KeyboardInterrupt:
+        checkpoint()
+        journal.write({"event": "interrupted", "done": len(rows)})
+        raise
+
+    complete = len(rows) == len(spec.points)
+    registry.inc("sweep.points_total", len(selected))
+    registry.inc("sweep.cache_hits", hits)
+    registry.inc("sweep.points_solved", solved)
+    checkpoint()
+    journal.write({
+        "event": "end", "done": len(rows), "cache_hits": hits,
+        "solved": solved, "complete": complete,
+    })
+    ordered = [rows[p.index] for p in selected if p.index in rows]
+    return SweepReport(
+        name=spec.name,
+        version=spec.version,
+        total=len(selected),
+        rows=ordered,
+        cache_hits=hits,
+        solved=solved,
+        complete=complete,
+        shard=shard,
+        metrics=registry,
+    )
+
+
+def sweep_status(spec: SweepSpec, cache_dir: str) -> Dict:
+    """Progress of *spec* against *cache_dir* without solving anything."""
+    store = ResultStore(cache_dir, spec.name)
+    cached = sum(1 for p in spec.points if store.contains(p.key))
+    status = {
+        "sweep": spec.name,
+        "version": spec.version,
+        "spec_key": spec.spec_key,
+        "total": len(spec.points),
+        "cached": cached,
+        "complete": cached == len(spec.points),
+        "store_entries": store.count(),
+    }
+    state_path = store.dir / "STATE.json"
+    if state_path.is_file():
+        try:
+            with open(state_path, "r", encoding="utf-8") as fh:
+                status["last_state"] = json.load(fh)
+        except (OSError, ValueError):
+            pass
+    return status

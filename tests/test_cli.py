@@ -30,6 +30,10 @@ EXPECTED_FLAGS = {
         "events", "horizon", "checkpoint_every", "save_plan", "json",
         "backend", "trace_out",
     },
+    "sweep": {
+        "action", "name", "scale", "seed", "cache_dir", "shard",
+        "workers", "out", "json",
+    },
     "selftest": {"trials", "seed"},
     "report": {"output", "scale", "seed", "only"},
 }
