@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-srt bench-obs bench-incremental obs-smoke perf-check lint-hotpath faults-smoke sweep-smoke check
+.PHONY: test bench-smoke bench bench-srt bench-obs bench-incremental obs-smoke perf-check lint-hotpath faults-smoke sweep-smoke telemetry-smoke perf-history check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -71,4 +71,20 @@ sweep-smoke:
 	$(PYTHON) -m repro.sweep.smoke
 	@echo "sweep-smoke: OK"
 
-check: test lint-hotpath perf-check bench-smoke obs-smoke faults-smoke sweep-smoke
+# distributed-telemetry smoke: a tiny spanned sweep must merge to one
+# rooted span tree, byte-identical across worker counts and shard
+# layouts; live status must report completion; and an injected 12%
+# slowdown must trip 'perf compare' (exit 1) at a 5% gate
+telemetry-smoke:
+	$(PYTHON) -m repro.obs.smoke
+	@echo "telemetry-smoke: OK"
+
+# ingest the current BENCH artifacts into the durable perf time-series
+# and gate them against the rolling baseline (docs/OBSERVABILITY.md)
+perf-history:
+	$(PYTHON) -m repro perf compare BENCH_1.json --ingest
+	$(PYTHON) -m repro perf compare BENCH_2.json --ingest
+	$(PYTHON) -m repro perf compare BENCH_3.json --ingest
+	$(PYTHON) -m repro perf history
+
+check: test lint-hotpath perf-check bench-smoke obs-smoke faults-smoke sweep-smoke telemetry-smoke

@@ -16,7 +16,16 @@ Subcommands
   timings), cross-checked against the result's own counters;
 * ``faults`` — run an instance under a fault plan (loaded or randomly
   generated from a seed), validate the recovered schedule and print the
-  degradation report (see docs/ROBUSTNESS.md).
+  degradation report (see docs/ROBUSTNESS.md);
+* ``sweep`` — run/resume/status/trace a registered sweep on the
+  experiment fabric; ``status --follow`` tails the live heartbeat
+  telemetry of a running sweep, ``run --trace-spans`` records a
+  hierarchical span trace and ``trace`` merges the span shards into the
+  canonical ``TRACE.jsonl`` (see docs/OBSERVABILITY.md);
+* ``perf`` — the durable perf time-series: ``ingest`` appends a BENCH
+  report to the history store, ``history`` summarizes it, ``compare``
+  diffs a fresh report against the rolling baseline and exits 1 on a
+  gated regression.
 
 ``solve``, ``srj``, ``tasks`` and ``stats`` accept ``--trace-out FILE`` to
 emit a structured JSONL trace (one record per RLE trace run); the
@@ -523,16 +532,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .perf.bench import parse_shard
     from .sweep import DEFAULT_CACHE_DIR, sweep_status
     from .sweep.registry import get_sweep
+    from .sweep.runner import SPAN_DIR_NAME
+    from .sweep.store import ResultStore
 
     entry = get_sweep(args.name)
     if args.cache_dir is None:
         args.cache_dir = DEFAULT_CACHE_DIR
+    spec = entry.build_spec(args.scale, args.seed)
+    checkpoint_dir = ResultStore(args.cache_dir, spec.name).dir
 
     if args.action == "status":
-        status = sweep_status(
-            entry.build_spec(args.scale, args.seed), args.cache_dir
-        )
+        from .obs.report import follow, live_status
+
+        if args.follow:
+            # raises ValueError (exit 2) for a missing checkpoint dir
+            return follow(checkpoint_dir, interval=args.interval)
+        status = sweep_status(spec, args.cache_dir)
+        try:
+            live = live_status(checkpoint_dir)
+        except ValueError:
+            live = None
         if args.json:
+            status["live"] = live
             print(_json.dumps(status, indent=2, sort_keys=True))
         else:
             print(
@@ -542,6 +563,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"({'complete' if status['complete'] else 'incomplete'}), "
                 f"{status['store_entries']} store entries in {args.cache_dir}"
             )
+            if live is not None:
+                from .obs.report import format_live_status
+
+                print(format_live_status(live))
+        return 0
+
+    if args.action == "trace":
+        from .obs.spans import merge_spans, write_merged_trace
+
+        span_dir = checkpoint_dir / SPAN_DIR_NAME
+        # raises ValueError (exit 2) when there are no span shards
+        records = merge_spans(span_dir)
+        path = write_merged_trace(
+            span_dir, out=args.out, timings=args.timings
+        )
+        print(f"merged {len(records)} spans -> {path}")
         return 0
 
     # "run" and "resume" are the same operation — the content-addressed
@@ -551,7 +588,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         None if shard is not None else entry.default_out
     )
     report = entry.run(
-        args.scale, args.seed, args.cache_dir, args.workers, shard, out
+        args.scale, args.seed, args.cache_dir, args.workers, shard, out,
+        spans=args.trace_spans,
     )
     cache = report.get("cache", {})
     rows = report.get("rows", [])
@@ -560,6 +598,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({cache.get('hits', 0)} cached, {cache.get('solved', 0)} solved)"
         + (f"; wrote {out}" if out else "")
     )
+    if args.trace_spans:
+        print(
+            f"span shards under {checkpoint_dir / SPAN_DIR_NAME} "
+            f"(merge with: repro-sched sweep trace {entry.name})"
+        )
     summary = report.get("summary")
     if summary is not None and not args.json:
         for key, value in summary.items():
@@ -570,6 +613,83 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if summary is not None and summary.get("passed") is False:
         return 1
     return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.timeseries import DEFAULT_HISTORY_DIR, PerfHistory
+
+    history = PerfHistory(
+        args.history_dir if args.history_dir is not None
+        else DEFAULT_HISTORY_DIR
+    )
+
+    def load_report(path):
+        if path is None:
+            raise ValueError(
+                f"perf {args.action} requires a BENCH report file"
+            )
+        with open(path, encoding="utf-8") as fh:
+            return _json.load(fh)
+
+    if args.action == "ingest":
+        report = load_report(args.file)
+        n = history.ingest(report, bench=args.bench)
+        print(f"ingested {n} row(s) into {history.root}")
+        return 0
+
+    if args.action == "history":
+        summaries = history.summary(bench=args.bench)
+        if args.json:
+            print(_json.dumps(summaries, indent=2, sort_keys=True))
+            return 0
+        if not summaries:
+            print(f"no perf history under {history.root}")
+            return 0
+        for s in summaries:
+            ident = ",".join(
+                f"{k}={v}" for k, v in sorted(s["identity"].items())
+            )
+            latest = ",".join(
+                f"{k}={v}" for k, v in sorted(s["latest"].items())
+                if isinstance(v, (int, float))
+            )
+            print(
+                f"{s['bench']} [{s['key'][:12]}] {ident or '-'} "
+                f"({s['code_version']}, {s['observations']} obs): {latest}"
+            )
+        return 0
+
+    # compare
+    report = load_report(args.file)
+    verdict = history.compare(
+        report, bench=args.bench, gate=args.gate, window=args.window
+    )
+    if args.json:
+        print(_json.dumps(verdict, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{verdict['bench']} ({verdict['code_version']}): "
+            f"{len(verdict['rows'])} point(s) vs rolling baseline "
+            f"(window {verdict['window']}, gate {verdict['gate']:.0%})"
+        )
+        if verdict["new_points"]:
+            print(f"  {verdict['new_points']} point(s) with no history yet")
+        for reg in verdict["regressions"]:
+            ident = ",".join(
+                f"{k}={v}" for k, v in sorted(reg["identity"].items())
+            )
+            print(
+                f"  REGRESSED {reg['metric']} at {ident or '-'}: "
+                f"{reg['value']:.6f}s vs baseline {reg['baseline']:.6f}s "
+                f"({reg['delta']:+.1%})"
+            )
+        print("PASS" if verdict["ok"] else "REGRESSED")
+    if verdict["ok"] and args.ingest:
+        n = history.ingest(report, bench=args.bench)
+        print(f"ingested {n} row(s) into {history.root}")
+    return 0 if verdict["ok"] else 1
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
@@ -767,9 +887,11 @@ def build_parser() -> argparse.ArgumentParser:
         "fabric (content-addressed cache, sharding; docs/SCALING.md)",
     )
     p.add_argument(
-        "action", choices=("run", "resume", "status"),
+        "action", choices=("run", "resume", "status", "trace"),
         help="'run' and 'resume' are the same incremental operation; "
-        "'status' reports cache coverage without solving anything",
+        "'status' reports cache coverage (plus live heartbeat telemetry) "
+        "without solving anything; 'trace' merges recorded span shards "
+        "into the canonical TRACE.jsonl",
     )
     p.add_argument(
         "name",
@@ -796,7 +918,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full report/status as JSON",
     )
+    p.add_argument(
+        "--follow", action="store_true",
+        help="with 'status': poll the heartbeat telemetry until the "
+        "sweep completes (Ctrl-C to stop)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="polling interval for --follow (default: 2s)",
+    )
+    p.add_argument(
+        "--trace-spans", action="store_true",
+        help="with 'run'/'resume': record hierarchical trace spans into "
+        "the checkpoint directory (merge with the 'trace' action)",
+    )
+    p.add_argument(
+        "--timings", action="store_true",
+        help="with 'trace': keep wall-clock fields in the merged trace "
+        "(default drops them so the output is byte-reproducible)",
+    )
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "perf",
+        help="durable perf time-series over BENCH reports: ingest into "
+        "the history store, summarize it, or compare a fresh report "
+        "against the rolling baseline (exit 1 on a gated regression)",
+    )
+    p.add_argument(
+        "action", choices=("ingest", "history", "compare"),
+        help="'ingest FILE' appends a report's rows; 'history' lists "
+        "stored series; 'compare FILE' gates a report against the "
+        "rolling baseline",
+    )
+    p.add_argument(
+        "file", nargs="?", default=None,
+        help="BENCH report JSON (required for ingest/compare)",
+    )
+    p.add_argument(
+        "--bench", default=None, metavar="NAME",
+        help="bench name override (default: the report's own 'bench' "
+        "field; for 'history', filter to one bench)",
+    )
+    p.add_argument(
+        "--gate", type=float, default=0.10, metavar="FRACTION",
+        help="relative regression gate for 'compare' (default: 0.10 "
+        "= 10%% above baseline)",
+    )
+    p.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="rolling-baseline window: median of the last N "
+        "observations (default: 5)",
+    )
+    p.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="history store root (default: .repro-cache/perf-history)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the summary/verdict as JSON",
+    )
+    p.add_argument(
+        "--ingest", action="store_true",
+        help="with 'compare': ingest the report after a passing "
+        "comparison (so green runs extend the baseline)",
+    )
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(
         "selftest", help="quick internal consistency battery"

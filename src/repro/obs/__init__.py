@@ -1,6 +1,6 @@
-"""Engine-wide observability: observers, metrics, spans, JSONL traces.
+"""Engine-wide observability: observers, metrics, spans, traces, perf history.
 
-The subsystem has four pieces (see docs/API.md for the user tour):
+The subsystem's pieces (see docs/OBSERVABILITY.md for the user tour):
 
 * :mod:`repro.obs.observer` — the :class:`Observer` no-op protocol the
   engine invokes on every applied decision and phase boundary, plus
@@ -13,7 +13,17 @@ The subsystem has four pieces (see docs/API.md for the user tour):
   ``repro-sched stats`` CLI subcommand;
 * :mod:`repro.obs.trace_out` — :class:`JsonlTraceObserver` structured
   JSONL emission (``--trace-out`` / ``$REPRO_TRACE``) with the
-  :func:`read_trace` round-trip reader.
+  :func:`read_trace` round-trip reader;
+* :mod:`repro.obs.spans` — hierarchical trace spans with deterministic
+  identities: sweep workers write JSONL span shards which
+  :func:`merge_spans` folds into one rooted tree, byte-identical across
+  worker counts and shard layouts;
+* :mod:`repro.obs.report` — the live-monitoring read side
+  (``HEARTBEAT.jsonl`` / ``STATE.json`` → ``repro-sched sweep status
+  --follow``);
+* :mod:`repro.obs.timeseries` — the durable perf time-series behind
+  ``repro-sched perf history|compare`` (rolling-baseline regression
+  gates over the BENCH reports).
 
 Every scheduler entry point (``solve_srj``, ``schedule_unit``,
 ``solve_srt``, ``schedule_online[_list]``, ``schedule_assigned``, the
@@ -30,6 +40,20 @@ from typing import Optional, Tuple
 from .collect import StatsObserver
 from .metrics import Histogram, MetricsRegistry, merge_snapshots
 from .observer import NULL_OBSERVER, MultiObserver, Observer, span
+from .spans import (
+    DegradingJsonlWriter,
+    SpanContext,
+    SpanShardObserver,
+    activated,
+    active_context,
+    canonical_trace_lines,
+    derive_span_id,
+    derive_trace_id,
+    merge_spans,
+    span_observer_from_context,
+    write_merged_trace,
+)
+from .timeseries import DEFAULT_HISTORY_DIR, PerfHistory
 from .trace_out import (
     TRACE_ENV,
     JsonlTraceObserver,
@@ -53,6 +77,19 @@ __all__ = [
     "read_trace",
     "trace_observer_from_env",
     "setup_observer",
+    "SpanContext",
+    "SpanShardObserver",
+    "DegradingJsonlWriter",
+    "activated",
+    "active_context",
+    "derive_trace_id",
+    "derive_span_id",
+    "span_observer_from_context",
+    "merge_spans",
+    "canonical_trace_lines",
+    "write_merged_trace",
+    "PerfHistory",
+    "DEFAULT_HISTORY_DIR",
 ]
 
 
@@ -64,13 +101,18 @@ def setup_observer(
     """Compose the effective observer for one entry-point call.
 
     Combines, in order: the caller's *observer*, a fresh
-    :class:`StatsObserver` when *collect_stats* is set, and the
-    ``$REPRO_TRACE`` JSONL emitter when *env* is true (entry points that
-    already received a composed observer from an outer layer pass
-    ``env=False`` to avoid double emission).
+    :class:`StatsObserver` when *collect_stats* is set, and — when *env*
+    is true — the ambient emitters: the ``$REPRO_TRACE`` JSONL tracer and
+    the span-shard observer of the process's active
+    :class:`~repro.obs.spans.SpanContext` (set by the sweep runner around
+    each pool task).  Entry points that already received a composed
+    observer from an outer layer pass ``env=False`` to avoid double
+    emission.
 
     Returns ``(observer_or_None, metrics_or_None)`` — ``None`` observer
-    means the engine runs the bare, instrumentation-free loop.
+    means the engine runs the bare, instrumentation-free loop; with no
+    trace env var and no active span context the ambient checks cost two
+    reads, so disabled telemetry stays free.
     """
     stats = StatsObserver() if collect_stats else None
     parts = [obs for obs in (observer, stats) if obs is not None]
@@ -78,6 +120,9 @@ def setup_observer(
         tracer = trace_observer_from_env()
         if tracer is not None:
             parts.append(tracer)
+        span_obs = span_observer_from_context()
+        if span_obs is not None:
+            parts.append(span_obs)
     metrics = stats.metrics if stats is not None else None
     if not parts:
         return None, metrics

@@ -1,0 +1,155 @@
+"""The telemetry smoke gate: span byte-identity + live status + perf gate.
+
+Run as ``python -m repro.obs.smoke`` (the ``make telemetry-smoke`` target,
+wired into ``make check`` and CI).  On a tiny fault-injection sweep it
+verifies, end to end, the properties the telemetry subsystem promises:
+
+1. a sweep run with ``spans=True`` merges to **one rooted span tree**,
+   with engine phase spans nested under their point spans;
+2. the canonical merged trace is **byte-identical** across worker counts
+   (4 vs 1) and across a 2-way sharded layout — the identities carry no
+   clock, pid or RNG;
+3. the heartbeat telemetry yields a live status that reports the sweep
+   complete with per-worker throughput;
+4. the perf regression gate fires: a report re-compared against its own
+   history passes (exit 0), a 10%-slowed copy compared at ``--gate 0.05``
+   is flagged with exit 1 — both driven through the real CLI.
+
+Exit status is non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from ..sweep.runner import SPAN_DIR_NAME, run_sweep
+from ..sweep.store import ResultStore
+from .report import live_status
+from .spans import canonical_trace_lines, merge_spans
+
+#: tiny but non-trivial: a few crashes/dips across 6 seeded instances
+_SPEC_KW = dict(trials=6, m=3, n=10, events=3, horizon=60, seed=2026)
+
+#: the injected slowdown (12%) must trip this gate (5%)
+_SMOKE_GATE = 0.05
+_SLOWDOWN = 1.12
+
+
+def _spanned_trace(spec, cache_dir: str, workers: int,
+                   shards: Optional[int] = None) -> str:
+    """Run *spec* with spans into *cache_dir*; return the canonical text."""
+    if shards:
+        for i in range(shards):
+            run_sweep(spec, cache_dir=cache_dir, workers=workers,
+                      shard=(i, shards), spans=True, checkpoint_every=2)
+    run_sweep(spec, cache_dir=cache_dir, workers=workers, spans=True,
+              checkpoint_every=2)
+    span_dir = ResultStore(cache_dir, spec.name).dir / SPAN_DIR_NAME
+    return "\n".join(canonical_trace_lines(merge_spans(span_dir)))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from ..cli import main as cli_main
+    from ..perf.faultsweep import faultsweep_spec
+
+    spec = faultsweep_spec(**_SPEC_KW)
+    failures: List[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {what}")
+        if not ok:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-smoke-") as tmp:
+        print(f"telemetry-smoke: {spec.name} ({len(spec)} points)")
+
+        # 1+2: spans across layouts -------------------------------------
+        trace_w4 = _spanned_trace(spec, f"{tmp}/a", workers=4)
+        trace_w1 = _spanned_trace(spec, f"{tmp}/b", workers=1)
+        trace_sharded = _spanned_trace(spec, f"{tmp}/c", workers=2, shards=2)
+
+        records = [json.loads(line) for line in trace_w4.splitlines()]
+        roots = [r for r in records if r["parent_id"] is None]
+        points = {r["span_id"]: r for r in records if r["name"] == "point"}
+        nested_engine = [
+            r for r in records
+            if r["name"] in ("scale", "loop", "emit", "validate")
+            and r["parent_id"] in points
+        ]
+        check(len(roots) == 1, "merged trace is one rooted tree")
+        check(
+            len(points) == len(spec),
+            f"one span per point ({len(points)}/{len(spec)})",
+        )
+        check(
+            len(nested_engine) > 0,
+            f"engine phase spans nest under points ({len(nested_engine)})",
+        )
+        check(
+            trace_w4 == trace_w1,
+            "canonical trace byte-identical: 4 workers vs 1",
+        )
+        check(
+            trace_w4 == trace_sharded,
+            "canonical trace byte-identical: unsharded vs 2-way shards",
+        )
+
+        # 3: live status off the heartbeat file -------------------------
+        status = live_status(ResultStore(f"{tmp}/a", spec.name).dir)
+        check(
+            status["complete"] and status["done"] == len(spec),
+            "live status reports the sweep complete",
+        )
+        check(
+            any("throughput" in w for w in status["workers"]),
+            "heartbeats carry per-worker throughput",
+        )
+
+        # 4: perf regression gate through the real CLI -------------------
+        hist = f"{tmp}/hist"
+        report = {
+            "schema": 2, "bench": "telemetry smoke bench",
+            "rows": [
+                {"case": i, "makespan": 7 + i,
+                 "fraction_s": 0.01 * (i + 1), "int_s": 0.002 * (i + 1)}
+                for i in range(3)
+            ],
+        }
+        fast = Path(tmp) / "FAST.json"
+        fast.write_text(json.dumps(report))
+        slow_report = json.loads(fast.read_text())
+        for row in slow_report["rows"]:
+            row["fraction_s"] = round(row["fraction_s"] * _SLOWDOWN, 9)
+        slow = Path(tmp) / "SLOW.json"
+        slow.write_text(json.dumps(slow_report))
+
+        rc = cli_main(["perf", "ingest", str(fast), "--history-dir", hist])
+        check(rc == 0, "perf ingest accepts the baseline report")
+        rc = cli_main([
+            "perf", "compare", str(fast), "--history-dir", hist,
+            "--gate", str(_SMOKE_GATE),
+        ])
+        check(rc == 0, "perf compare passes on an identical report")
+        rc = cli_main([
+            "perf", "compare", str(slow), "--history-dir", hist,
+            "--gate", str(_SMOKE_GATE),
+        ])
+        check(
+            rc == 1,
+            f"perf compare flags the injected {_SLOWDOWN - 1:.0%} slowdown "
+            f"(exit 1 at gate {_SMOKE_GATE:.0%})",
+        )
+
+    if failures:
+        print(f"telemetry-smoke: {len(failures)} FAILURE(S)")
+        return 1
+    print("telemetry-smoke: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -20,6 +20,12 @@ carries the repetition.  The record types are:
 remain the stringified form — keys may be tuples, which JSON cannot carry
 natively).
 
+Schema 2: when a hierarchical span context is active in the process (a
+sweep worker solving a point — see :mod:`repro.obs.spans`), every
+``run_start`` record additionally carries ``trace_id`` and ``parent_span``,
+so run traces from many workers can be correlated against the merged
+span tree of the distributed run that produced them.
+
 The emitter is enabled per call site via the ``observer=`` kwarg /
 ``--trace-out`` CLI flag, or globally via the ``REPRO_TRACE`` environment
 variable (every engine run then *appends* to that one file; see
@@ -46,8 +52,9 @@ __all__ = [
 #: environment variable holding the global trace-output path
 TRACE_ENV = "REPRO_TRACE"
 
-#: schema version stamped on every run_start record
-TRACE_SCHEMA = 1
+#: schema version stamped on every run_start record;
+#: 2 = run_start carries trace_id/parent_span when a span context is active
+TRACE_SCHEMA = 2
 
 
 def _key_str(key) -> str:
@@ -110,9 +117,15 @@ class JsonlTraceObserver(Observer):
             )
 
     def on_run_start(self, meta: Dict) -> None:
+        from .spans import active_context
+
         self._decision_index = 0
         record = {"type": "run_start", "schema": TRACE_SCHEMA,
                   "run": self._run_index}
+        ctx = active_context()
+        if ctx is not None:
+            record["trace_id"] = ctx.trace_id
+            record["parent_span"] = ctx.span_id
         record.update(meta)
         self._write(record)
 

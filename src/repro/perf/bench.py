@@ -135,6 +135,7 @@ def run_bench(
     cache_dir: Optional[str] = None,
     workers: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
+    spans: bool = False,
 ) -> Dict[str, object]:
     """Run the two-backend E4 sweep; return (and optionally write) a report.
 
@@ -142,10 +143,11 @@ def run_bench(
     timings included) and only new points are timed; with *shard* only the
     ``index % k == i`` slice runs and the summary is omitted (``partial``)
     until an unsharded merge run assembles the full report from cache.
+    *spans* (requires *cache_dir*) emits the hierarchical span trace.
     """
     spec = bench_spec(scale=scale, seed=seed, reps=reps)
     sweep = run_sweep(
-        spec, cache_dir=cache_dir, workers=workers, shard=shard
+        spec, cache_dir=cache_dir, workers=workers, shard=shard, spans=spans
     )
     rows = sweep.rows
     report: Dict[str, object] = {

@@ -154,12 +154,13 @@ def run_bench_obs(
     cache_dir: Optional[str] = None,
     workers: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
+    spans: bool = False,
 ) -> Dict[str, object]:
     """Time the three instrumentation modes; return (and optionally write)
     a gated report."""
     spec = bench_obs_spec(scale=scale, seed=seed, reps=reps)
     sweep = run_sweep(
-        spec, cache_dir=cache_dir, workers=workers, shard=shard
+        spec, cache_dir=cache_dir, workers=workers, shard=shard, spans=spans
     )
     rows = sweep.rows
     report: Dict[str, object] = {

@@ -125,11 +125,12 @@ def run_bench_srt(
     cache_dir: Optional[str] = None,
     workers: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
+    spans: bool = False,
 ) -> Dict[str, object]:
     """Run the two-backend SRT sweep; return (and optionally write) a report."""
     spec = bench_srt_spec(scale=scale, seed=seed, reps=reps)
     sweep = run_sweep(
-        spec, cache_dir=cache_dir, workers=workers, shard=shard
+        spec, cache_dir=cache_dir, workers=workers, shard=shard, spans=spans
     )
     rows = sweep.rows
     report: Dict[str, object] = {

@@ -111,6 +111,7 @@ def fault_sweep(
     retries: int = 2,
     cache_dir: Optional[str] = None,
     shard: Optional[Tuple[int, int]] = None,
+    spans: bool = False,
 ) -> List[Dict]:
     """Run *trials* independent fault-injection trials; ordered rows.
 
@@ -124,7 +125,7 @@ def fault_sweep(
     )
     report = run_sweep(
         spec, cache_dir=cache_dir, workers=workers, shard=shard,
-        timeout=timeout, retries=retries,
+        timeout=timeout, retries=retries, spans=spans,
     )
     return report.rows
 

@@ -42,7 +42,16 @@ from concurrent.futures import (
     TimeoutError as FuturesTimeoutError,
     wait,
 )
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    TypeVar,
+)
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -102,6 +111,7 @@ def parallel_map(
     retries: int = 2,
     backoff: float = _BACKOFF_BASE,
     jitter_seed: int = 0,
+    stats: Optional[MutableMapping[str, int]] = None,
 ) -> List[U]:
     """Map *fn* over *items*, fanning out across processes; ordered results.
 
@@ -116,6 +126,12 @@ def parallel_map(
     factor in [1, 2) derived from ``(jitter_seed, attempt)`` — jitter
     affects only the sleep, never the results.  Exceptions raised by *fn*
     are deterministic and propagate immediately, without retry.
+
+    *stats*, when given, is a mutable mapping whose ``"retries"``,
+    ``"timeouts"`` and ``"broken_pools"`` counters are incremented in
+    place as infrastructure failures are handled — the sweep runner
+    surfaces them in its heartbeat telemetry.  Counters only ever grow;
+    a clean run leaves the mapping untouched.
     """
     items = list(items)
     if retries < 0:
@@ -134,13 +150,15 @@ def parallel_map(
         except (OSError, PermissionError):  # pragma: no cover - sandbox
             return _serial_map(fn, items, timeout)
         except BrokenExecutor:
+            _bump(stats, "broken_pools")
             if retries == 0:
                 return _serial_map(fn, items, timeout)
             # a worker died; re-run with per-task tracking so only the
             # lost tasks pay the retry
     try:
         return _map_with_futures(
-            fn, items, n_workers, timeout, retries, backoff, jitter_seed
+            fn, items, n_workers, timeout, retries, backoff, jitter_seed,
+            stats,
         )
     except (OSError, PermissionError):  # pragma: no cover - sandbox
         return _serial_map(fn, items, timeout)
@@ -159,6 +177,14 @@ def _jitter_factor(jitter_seed: int, attempt: int) -> float:
     return 1.0 + seed_for(jitter_seed, attempt) / 2.0**64
 
 
+def _bump(
+    stats: Optional[MutableMapping[str, int]], key: str, by: int = 1
+) -> None:
+    """Increment a fault counter in the caller's *stats* mapping, if any."""
+    if stats is not None and by:
+        stats[key] = stats.get(key, 0) + by
+
+
 def _map_with_futures(
     fn: Callable[[T], U],
     items: Sequence[T],
@@ -167,6 +193,7 @@ def _map_with_futures(
     retries: int,
     backoff: float,
     jitter_seed: int,
+    stats: Optional[MutableMapping[str, int]] = None,
 ) -> List[U]:
     """Per-task submission with crash/timeout detection and bounded retry.
 
@@ -181,6 +208,7 @@ def _map_with_futures(
         if not pending:
             break
         if attempt > 0:
+            _bump(stats, "retries", len(pending))
             time.sleep(backoff * (2 ** (attempt - 1))
                        * _jitter_factor(jitter_seed, attempt))
         pool = ProcessPoolExecutor(max_workers=min(n_workers, len(pending)))
@@ -204,6 +232,7 @@ def _map_with_futures(
                     last_error = FuturesTimeoutError(
                         f"{len(not_done)} task(s) exceeded {timeout}s"
                     )
+                    _bump(stats, "timeouts", len(not_done))
                     still.extend(futures[f] for f in not_done)
                     break
                 for future in done:
@@ -213,6 +242,7 @@ def _map_with_futures(
                         results[index] = future.result()
                     elif isinstance(exc, BrokenExecutor):
                         last_error = exc
+                        _bump(stats, "broken_pools")
                         still.append(index)
                         # the pool is poisoned; everything not finished
                         # must go to the next round

@@ -32,16 +32,17 @@ class SweepEntry:
     description: str
     default_out: str
     build_spec: Callable[[str, int], SweepSpec]
-    run: Callable[..., Dict]  # (scale, seed, cache_dir, workers, shard, out)
+    #: (scale, seed, cache_dir, workers, shard, out, spans=False)
+    run: Callable[..., Dict]
 
 
 def _bench_entry() -> SweepEntry:
     from ..perf.bench import bench_spec, run_bench
 
-    def run(scale, seed, cache_dir, workers, shard, out):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
         return run_bench(
             scale=scale, seed=seed, out=out, cache_dir=cache_dir,
-            workers=workers, shard=shard,
+            workers=workers, shard=shard, spans=spans,
         )
 
     return SweepEntry(
@@ -53,10 +54,10 @@ def _bench_entry() -> SweepEntry:
 def _bench_srt_entry() -> SweepEntry:
     from ..perf.bench_srt import bench_srt_spec, run_bench_srt
 
-    def run(scale, seed, cache_dir, workers, shard, out):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
         return run_bench_srt(
             scale=scale, seed=seed, out=out, cache_dir=cache_dir,
-            workers=workers, shard=shard,
+            workers=workers, shard=shard, spans=spans,
         )
 
     return SweepEntry(
@@ -68,10 +69,10 @@ def _bench_srt_entry() -> SweepEntry:
 def _bench_obs_entry() -> SweepEntry:
     from ..perf.bench_obs import bench_obs_spec, run_bench_obs
 
-    def run(scale, seed, cache_dir, workers, shard, out):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
         return run_bench_obs(
             scale=scale, seed=seed, out=out, cache_dir=cache_dir,
-            workers=workers, shard=shard,
+            workers=workers, shard=shard, spans=spans,
         )
 
     return SweepEntry(
@@ -90,10 +91,10 @@ def _faultsweep_entry() -> SweepEntry:
         trials = preset.pop("trials")
         return faultsweep_spec(trials=trials, seed=seed, **preset)
 
-    def run(scale, seed, cache_dir, workers, shard, out):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
         sweep = run_sweep(
             build_spec(scale, seed), cache_dir=cache_dir,
-            workers=workers, shard=shard,
+            workers=workers, shard=shard, spans=spans,
         )
         report = {
             "sweep": "faultsweep", "scale": scale, "seed": seed,

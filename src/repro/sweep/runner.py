@@ -24,7 +24,16 @@ Observability: pass ``observer=`` for ``sweep/lookup`` / ``sweep/solve``
 phase spans and ``metrics=`` (or read ``report.metrics``) for the
 ``sweep.points_total`` / ``sweep.cache_hits`` / ``sweep.points_solved``
 counters.  With a cache dir, a JSONL journal of start/point/end events is
-appended next to the cached rows.
+appended next to the cached rows, and per-batch **heartbeat** records
+(point throughput, cache hits, the retry/timeout/broken-pool counters of
+the hardened runner, an ETA) go to ``HEARTBEAT.jsonl`` — the live feed
+behind ``repro-sched sweep status --follow`` (see :mod:`repro.obs.report`).
+With ``spans=True`` the run additionally emits a hierarchical span trace
+under ``<checkpoint>/spans/``: the sweep root, its lookup/solve phases,
+one span per solved point (recorded by the pool worker that solved it)
+and the engine phases inside each solve — all with deterministic
+identities, so :func:`repro.obs.spans.merge_spans` folds the shards into
+one rooted tree byte-identical across worker counts and shard layouts.
 """
 
 from __future__ import annotations
@@ -38,20 +47,62 @@ from typing import Dict, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.observer import Observer, span
-from ..perf.parallel import parallel_map
+from ..obs.report import HEARTBEAT_NAME
+from ..obs.spans import (
+    DegradingJsonlWriter,
+    SpanContext,
+    activated,
+    derive_span_id,
+    derive_trace_id,
+    shard_writer,
+    write_span,
+)
+from ..perf.parallel import auto_workers, parallel_map
 from .spec import SweepPoint, SweepSpec
 from .store import NullStore, ResultStore
 
-__all__ = ["SweepReport", "run_sweep", "sweep_status"]
+__all__ = ["SweepReport", "run_sweep", "sweep_status", "SPAN_DIR_NAME"]
 
 #: persist results/state after this many newly solved points (default)
 CHECKPOINT_EVERY = 8
 
+#: span shards live in this subdirectory of the checkpoint directory
+SPAN_DIR_NAME = "spans"
+
 
 def _solve_task(task):
-    """Module-level pool worker: ``(run_point, params) -> row``."""
-    fn, params = task
-    return fn(dict(params))
+    """Module-level pool worker: ``(run_point, params[, span_task]) -> row``.
+
+    With a *span_task* (the sweep runs with ``spans=True``) the worker
+    activates a :class:`~repro.obs.spans.SpanContext` around the solve —
+    so every engine entry point the pure ``run_point`` function calls
+    composes a span observer via ``setup_observer`` and its phase spans
+    nest under this point — then records the point span itself.  The
+    point span is written only here, by whichever process actually
+    solved the point, so each point appears exactly once in the shards
+    no matter the worker count or shard layout.
+    """
+    fn, params, span_task = task if len(task) == 3 else (task[0], task[1], None)
+    if span_task is None:
+        return fn(dict(params))
+    ctx = SpanContext(
+        span_dir=span_task["dir"],
+        trace_id=span_task["trace"],
+        span_id=derive_span_id(span_task["trace"], "point", span_task["key"]),
+    )
+    t0 = time.perf_counter()
+    with activated(ctx):
+        row = fn(dict(params))
+    write_span(
+        shard_writer(ctx.span_dir),
+        trace_id=ctx.trace_id,
+        span_id=ctx.span_id,
+        parent_id=span_task["parent"],
+        name="point",
+        seconds=time.perf_counter() - t0,
+        attrs={"index": span_task["index"], "key": span_task["key"]},
+    )
+    return row
 
 
 def _canonical_row(row):
@@ -88,22 +139,23 @@ class SweepReport:
 
 
 class _Journal:
-    """Append-only JSONL event log; silently disabled without a cache dir."""
+    """Append-only JSONL event log; disabled without a cache dir.
+
+    Delegates to :class:`~repro.obs.spans.DegradingJsonlWriter`, so a
+    write failure (disk full, unwritable checkpoint dir) warns once and
+    then becomes a no-op — journaling must never kill the sweep.
+    """
 
     def __init__(self, path: Optional[Path]) -> None:
-        self.path = path
+        self._writer = (
+            DegradingJsonlWriter(path, label="sweep journal")
+            if path is not None else None
+        )
 
     def write(self, record: Dict) -> None:
-        if self.path is None:
+        if self._writer is None:
             return
-        record = {"ts": round(time.time(), 3), **record}
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(json.dumps(record, sort_keys=True))
-                fh.write("\n")
-        except OSError:  # journaling must never kill the sweep
-            self.path = None
+        self._writer.write({"ts": round(time.time(), 3), **record})
 
 
 def _write_state(store, spec: SweepSpec, payload: Dict) -> None:
@@ -138,6 +190,7 @@ def run_sweep(
     metrics: Optional[MetricsRegistry] = None,
     timeout: Optional[float] = None,
     retries: int = 2,
+    spans: bool = False,
 ) -> SweepReport:
     """Run *spec*, reusing every cached point; returns the ordered report.
 
@@ -147,18 +200,71 @@ def run_sweep(
     mid-sweep kill, used by the resume tests and ``make sweep-smoke``;
     re-running the same call *is* the resume.  ``timeout``/``retries``
     pass through to the hardened :func:`~repro.perf.parallel_map`.
+    ``spans=True`` (requires a cache dir) emits the hierarchical span
+    trace described in the module docstring.
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
     selected = spec.select(shard)
     store = ResultStore(cache_dir, spec.name) if cache_dir else NullStore()
+    if spans and store.dir is None:
+        raise ValueError("spans=True requires a cache_dir (span shards "
+                         "live in the checkpoint directory)")
     registry = metrics if metrics is not None else MetricsRegistry()
     journal = _Journal(
         store.dir / "JOURNAL.jsonl" if store.dir is not None else None
     )
+    heartbeat = (
+        DegradingJsonlWriter(store.dir / HEARTBEAT_NAME, label="heartbeat")
+        if store.dir is not None else None
+    )
+    run_workers = 1 if spec.serial else workers
+    effective_workers = 1 if spec.serial else auto_workers(workers)
+    pool_stats: Dict[str, int] = {}
+    t_sweep = time.perf_counter()
+
+    # --- span identities (all content-derived; no clock/pid/RNG) ---------
+    span_dir: Optional[Path] = None
+    trace_id = root_id = lookup_id = solve_id = ""
+    if spans:
+        span_dir = store.dir / SPAN_DIR_NAME
+        trace_id = derive_trace_id(spec.name, spec.version, spec.spec_key)
+        root_id = derive_span_id(trace_id, "sweep")
+        lookup_id = derive_span_id(trace_id, "sweep/lookup")
+        solve_id = derive_span_id(trace_id, "sweep/solve")
+
+    def _beat(event: str, **extra) -> None:
+        if heartbeat is None:
+            return
+        elapsed = time.perf_counter() - t_sweep
+        record: Dict = {
+            "ts": round(time.time(), 3),
+            "pid": os.getpid(),
+            "shard": None if shard is None else list(shard),
+            "event": event,
+            "done": len(rows),
+            "selected": len(selected),
+            "total": len(spec.points),
+            "cache_hits": hits,
+            "solved": solved,
+            "elapsed_s": round(elapsed, 3),
+            "workers": effective_workers,
+        }
+        if solved and elapsed > 0:
+            throughput = solved / elapsed
+            record["throughput"] = round(throughput, 3)
+            remaining = max(len(to_run) - solved, 0)
+            record["eta_s"] = round(remaining / throughput, 3)
+        for counter in ("retries", "timeouts", "broken_pools"):
+            record[counter] = pool_stats.get(counter, 0)
+        record.update(extra)
+        heartbeat.write(record)
 
     rows: Dict[int, object] = {}
     misses: List[SweepPoint] = []
+    hits = solved = 0
+    to_run: List[SweepPoint] = []
+    t0 = time.perf_counter()
     with span(observer, "sweep/lookup"):
         for point in selected:
             row = store.get(point.key)
@@ -166,6 +272,7 @@ def run_sweep(
                 misses.append(point)
             else:
                 rows[point.index] = row
+    lookup_s = time.perf_counter() - t0
     hits = len(rows)
     journal.write({
         "event": "start", "sweep": spec.name, "spec_key": spec.spec_key,
@@ -174,7 +281,7 @@ def run_sweep(
     })
 
     to_run = misses if stop_after is None else misses[: max(stop_after, 0)]
-    solved = 0
+    _beat("start")
 
     def checkpoint() -> None:
         _write_state(store, spec, {
@@ -186,17 +293,29 @@ def run_sweep(
             "complete": len(rows) == len(spec.points),
         })
 
-    run_workers = 1 if spec.serial else workers
+    def make_task(point: SweepPoint):
+        if span_dir is None:
+            return (spec.run_point, point.params, None)
+        return (spec.run_point, point.params, {
+            "dir": str(span_dir),
+            "trace": trace_id,
+            "parent": solve_id,
+            "key": point.key,
+            "index": point.index,
+        })
+
+    t_solve = time.perf_counter()
     try:
         with span(observer, "sweep/solve"):
             for start in range(0, len(to_run), checkpoint_every):
                 batch = to_run[start : start + checkpoint_every]
                 out = parallel_map(
                     _solve_task,
-                    [(spec.run_point, p.params) for p in batch],
+                    [make_task(p) for p in batch],
                     workers=run_workers,
                     timeout=timeout,
                     retries=retries,
+                    stats=pool_stats,
                 )
                 for point, row in zip(batch, out):
                     row = _canonical_row(row)
@@ -208,20 +327,42 @@ def run_sweep(
                         "key": point.key, "cached": False,
                     })
                 checkpoint()
+                _beat("beat")
     except KeyboardInterrupt:
         checkpoint()
         journal.write({"event": "interrupted", "done": len(rows)})
+        _beat("interrupted")
         raise
+    finally:
+        # the coordinator's own spans: written even on interrupt, so a
+        # partial shard set still merges to a rooted tree; identities are
+        # layout-independent, so re-runs dedup to the same records
+        if span_dir is not None:
+            writer = shard_writer(span_dir)
+            write_span(writer, trace_id, lookup_id, root_id,
+                       "sweep/lookup", seconds=lookup_s)
+            write_span(writer, trace_id, solve_id, root_id, "sweep/solve",
+                       seconds=time.perf_counter() - t_solve)
+            write_span(
+                writer, trace_id, root_id, None, "sweep",
+                seconds=time.perf_counter() - t_sweep,
+                attrs={"spec_key": spec.spec_key, "sweep": spec.name,
+                       "version": spec.version},
+            )
 
     complete = len(rows) == len(spec.points)
     registry.inc("sweep.points_total", len(selected))
     registry.inc("sweep.cache_hits", hits)
     registry.inc("sweep.points_solved", solved)
+    for counter, value in sorted(pool_stats.items()):
+        if value:
+            registry.inc(f"sweep.{counter}", value)
     checkpoint()
     journal.write({
         "event": "end", "done": len(rows), "cache_hits": hits,
         "solved": solved, "complete": complete,
     })
+    _beat("end", complete=complete)
     ordered = [rows[p.index] for p in selected if p.index in rows]
     return SweepReport(
         name=spec.name,

@@ -32,7 +32,12 @@ EXPECTED_FLAGS = {
     },
     "sweep": {
         "action", "name", "scale", "seed", "cache_dir", "shard",
-        "workers", "out", "json",
+        "workers", "out", "json", "follow", "interval", "trace_spans",
+        "timings",
+    },
+    "perf": {
+        "action", "file", "bench", "gate", "window", "history_dir",
+        "json", "ingest",
     },
     "selftest": {"trials", "seed"},
     "report": {"output", "scale", "seed", "only"},
@@ -267,6 +272,73 @@ class TestFileCommands:
             main(["srj", "-m", "4", "-n", "8", "--backend", "bogus"])
         assert exc_info.value.code == 2
         assert "invalid choice" in capsys.readouterr().err
+
+    def test_perf_round_trip_and_regression_gate(self, tmp_path, capsys):
+        import json
+
+        def bench_file(name, scale=1.0):
+            path = tmp_path / name
+            path.write_text(json.dumps({
+                "schema": 2, "bench": "cli round trip",
+                "rows": [{"m": 4, "n": 16, "solve_s": 0.01 * scale}],
+            }))
+            return str(path)
+
+        hist = ["--history-dir", str(tmp_path / "hist")]
+        base = bench_file("base.json")
+        # fresh history: every point is new, and --ingest records it
+        assert main(["perf", "compare", base, "--ingest", *hist]) == 0
+        out = capsys.readouterr().out
+        assert "no history yet" in out and "PASS" in out
+        assert main(["perf", "history", *hist]) == 0
+        assert "cli-round-trip" in capsys.readouterr().out
+        # identical re-run passes; a 50% slowdown trips the 10% gate
+        assert main(["perf", "compare", base, *hist]) == 0
+        capsys.readouterr()
+        slow = bench_file("slow.json", scale=1.5)
+        assert main(["perf", "compare", slow, *hist]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED solve_s" in out
+        # a generous gate lets the same report through
+        assert main(
+            ["perf", "compare", slow, "--gate", "0.60", *hist]
+        ) == 0
+
+    def test_perf_errors_exit_cleanly(self, tmp_path, capsys):
+        assert main(["perf", "compare"]) == 2
+        assert "repro-sched: error:" in capsys.readouterr().err
+        assert main(
+            ["perf", "ingest", str(tmp_path / "missing.json")]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+
+    def test_sweep_status_missing_checkpoint_exits_cleanly(
+        self, tmp_path, capsys
+    ):
+        missing = ["faultsweep", "--cache-dir", str(tmp_path / "none")]
+        assert main(
+            ["sweep", "status", *missing, "--follow", "--interval", "0.01"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "repro-sched: error:" in captured.err
+        assert "Traceback" not in captured.err
+        assert main(["sweep", "trace", *missing]) == 2
+        assert "repro-sched: error:" in capsys.readouterr().err
+
+    def test_sweep_trace_spans_round_trip(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(
+            ["sweep", "run", "faultsweep", *cache, "--trace-spans"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["sweep", "trace", "faultsweep", *cache]) == 0
+        out = capsys.readouterr().out
+        assert "merged" in out and "TRACE.jsonl" in out
+        # one-shot status now includes the live telemetry block
+        assert main(["sweep", "status", "faultsweep", *cache]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "pts/s" in out
 
     def test_validate_rejects_mismatched_schedule(self, tmp_path, capsys):
         inst_a = tmp_path / "a.json"

@@ -91,6 +91,22 @@ class TestMetrics:
         a.merge(b)
         assert a == combined
 
+    def test_merge_empty_and_nonempty_histograms(self):
+        # a worker that saw no items contributes an empty registry; the
+        # merge must be the identity in both directions (worker-count
+        # independence for any shard layout, including empty shards)
+        loaded = MetricsRegistry()
+        loaded.inc("n", 3)
+        loaded.observe("h", 0.5)
+        loaded.observe("h", 4.0)
+        empty = MetricsRegistry()
+        a = merge_snapshots([loaded, empty])
+        b = merge_snapshots([empty, loaded])
+        assert a == b == loaded
+        assert a.histograms["h"].count == 2
+        both_empty = merge_snapshots([MetricsRegistry(), MetricsRegistry()])
+        assert both_empty == MetricsRegistry()
+
     def test_registry_merge_and_snapshot_order_insensitive(self):
         regs = []
         for k in range(3):
@@ -308,6 +324,51 @@ class TestJsonlTrace:
         records = read_trace(str(path))
         assert len([r for r in records if r["type"] == "run_start"]) == 1
         assert result.stats is not None
+
+    def test_env_composes_with_explicit_observer(self, tmp_path,
+                                                 monkeypatch):
+        # $REPRO_TRACE composed alongside an explicit observer= must see
+        # the same events the explicit observer sees — including spans —
+        # and the explicit observer must behave exactly as it does when
+        # tracing is off
+        class Recorder(Observer):
+            def __init__(self):
+                self.events = []
+
+            def on_run_start(self, meta):
+                self.events.append(("run_start", meta.get("backend")))
+
+            def on_decision(self, state, decision):
+                self.events.append(("decision", decision.case))
+
+            def on_span(self, name, seconds):
+                self.events.append(("span", name))
+
+            def on_run_end(self, state, summary):
+                self.events.append(("run_end", summary.get("makespan")))
+
+        inst = _instance(11, m=4, n=16)
+        bare = Recorder()
+        solve_srj(inst, backend="int", observer=bare)
+
+        path = tmp_path / "composed.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        composed = Recorder()
+        solve_srj(inst, backend="int", observer=composed)
+        assert composed.events == bare.events
+
+        records = read_trace(str(path))
+        traced_spans = [
+            r["name"] for r in records if r["type"] == "span"
+        ]
+        seen_spans = [
+            name for kind, name in composed.events if kind == "span"
+        ]
+        assert traced_spans == seen_spans
+        assert (
+            len([r for r in records if r["type"] == "run"])
+            == len([e for e in composed.events if e[0] == "decision"])
+        )
 
 
 # ---------------------------------------------------------------------------

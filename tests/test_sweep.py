@@ -221,6 +221,70 @@ class TestRunner:
             run_sweep(spec, cache_dir=tmp_path)
 
 
+class TestTelemetry:
+    def test_heartbeat_records_and_fields(self, tmp_path):
+        run_sweep(_spec(), cache_dir=tmp_path)
+        beats = [
+            json.loads(line)
+            for line in (tmp_path / "test-sweep" / "HEARTBEAT.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert beats[0]["event"] == "start"
+        assert beats[-1]["event"] == "end"
+        assert beats[-1]["complete"] is True
+        for beat in beats:
+            assert beat["total"] == 8
+            assert isinstance(beat["pid"], int)
+            assert {"shard", "done", "cache_hits", "solved", "elapsed_s",
+                    "workers", "retries", "timeouts",
+                    "broken_pools"} <= set(beat)
+        # once points are solved the beat carries throughput and an ETA
+        final = beats[-1]
+        assert final["done"] == 8 and final["solved"] == 8
+        assert final["throughput"] > 0
+        assert final["eta_s"] == pytest.approx(0.0)
+
+    def test_cached_rerun_heartbeats_report_cache_hits(self, tmp_path):
+        run_sweep(_spec(), cache_dir=tmp_path)
+        run_sweep(_spec(), cache_dir=tmp_path)
+        beats = [
+            json.loads(line)
+            for line in (tmp_path / "test-sweep" / "HEARTBEAT.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert beats[-1]["cache_hits"] == 8 and beats[-1]["solved"] == 0
+
+    def test_span_shards_written_under_checkpoint_dir(self, tmp_path):
+        run_sweep(_spec(), cache_dir=tmp_path, spans=True)
+        span_dir = tmp_path / "test-sweep" / "spans"
+        shards = sorted(span_dir.glob("spans-*.jsonl"))
+        assert shards, "spans=True must write shard files"
+        names = {
+            json.loads(line)["name"]
+            for shard in shards
+            for line in shard.read_text().splitlines()
+        }
+        assert {"sweep", "sweep/lookup", "sweep/solve", "point"} <= names
+
+    def test_no_span_shards_by_default(self, tmp_path):
+        run_sweep(_spec(), cache_dir=tmp_path)
+        assert not (tmp_path / "test-sweep" / "spans").exists()
+
+    def test_journal_degrades_with_single_warning(self, tmp_path):
+        # a directory squatting on the journal path makes appends fail;
+        # the sweep must finish, warning exactly once
+        (tmp_path / "test-sweep" / "JOURNAL.jsonl").mkdir(parents=True)
+        with pytest.warns(RuntimeWarning, match="sweep journal") as caught:
+            report = run_sweep(_spec(), cache_dir=tmp_path)
+        journal_warnings = [
+            w for w in caught if "sweep journal" in str(w.message)
+        ]
+        assert len(journal_warnings) == 1
+        assert report.metrics.counter("sweep.points_solved") == 8
+
+
 # ---------------------------------------------------------------------------
 # Shared grids + migrated entry points
 # ---------------------------------------------------------------------------

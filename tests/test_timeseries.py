@@ -1,0 +1,174 @@
+"""Tests for the perf time-series store (:mod:`repro.obs.timeseries`).
+
+Covers the identity/measurement row split, content-addressed series
+keys, ingest/summary round-trips, the rolling-baseline comparison (gate
+arithmetic, window semantics, new-point handling, code-version keying)
+and reader tolerance for torn tails.
+"""
+
+import pytest
+
+from repro.obs.timeseries import (
+    PerfHistory,
+    bench_slug as _bench_slug,
+    series_key,
+    split_row,
+)
+
+
+def _report(scale=1.0, schema=2, bench="E4 runtime"):
+    return {
+        "schema": schema,
+        "bench": bench,
+        "rows": [
+            {"sweep": "n", "m": 4, "n": 16, "makespan": 9,
+             "fraction_s": 0.010 * scale, "fraction_mean_s": 0.011 * scale,
+             "int_s": 0.002 * scale, "speedup": 5.0},
+            {"sweep": "n", "m": 4, "n": 32, "makespan": 17,
+             "fraction_s": 0.040 * scale, "fraction_mean_s": 0.041 * scale,
+             "int_s": 0.008 * scale, "speedup": 5.0},
+        ],
+    }
+
+
+class TestRowSplit:
+    def test_identity_vs_measurement_fields(self):
+        identity, measurements = split_row(_report()["rows"][0])
+        assert identity == {"sweep": "n", "m": 4, "n": 16, "makespan": 9}
+        assert set(measurements) == {
+            "fraction_s", "fraction_mean_s", "int_s", "speedup",
+        }
+
+    def test_overhead_columns_are_measurements(self):
+        _, m = split_row({"mode": "noop", "noop_overhead": 1.02})
+        assert "noop_overhead" in m
+
+    def test_bench_slug(self):
+        assert _bench_slug("E4 runtime, fraction vs int") == \
+            "e4-runtime-fraction-vs-int"
+        with pytest.raises(ValueError):
+            _bench_slug("---")
+
+    def test_series_key_depends_on_all_parts(self):
+        k = series_key("b", "schema2", {"m": 4})
+        assert k == series_key("b", "schema2", {"m": 4})
+        assert k != series_key("b", "schema3", {"m": 4})
+        assert k != series_key("c", "schema2", {"m": 4})
+        assert k != series_key("b", "schema2", {"m": 8})
+        assert len(k) == 64
+
+
+class TestIngest:
+    def test_ingest_and_summary_round_trip(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        assert history.ingest(_report(), ts=100.0) == 2
+        assert history.ingest(_report(), ts=200.0) == 2
+        summaries = history.summary()
+        assert len(summaries) == 2
+        assert all(s["observations"] == 2 for s in summaries)
+        assert all(s["latest_ts"] == 200.0 for s in summaries)
+        assert history.benches() == [_bench_slug("E4 runtime")]
+
+    def test_ingest_requires_rows_and_bench(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        with pytest.raises(ValueError, match="no rows"):
+            history.ingest({"bench": "x", "rows": []})
+        with pytest.raises(ValueError, match="bench"):
+            history.ingest({"rows": [{"a_s": 1.0}]})
+        # bench= override fills the gap
+        assert history.ingest({"rows": [{"a_s": 1.0}]}, bench="x") == 1
+
+    def test_measurementless_rows_skipped(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        report = {"bench": "x", "rows": [{"m": 4}, {"m": 4, "a_s": 1.0}]}
+        assert history.ingest(report) == 1
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        history.ingest(_report(), ts=1.0)
+        slug = _bench_slug("E4 runtime")
+        series_file = next((tmp_path / slug).glob("*.jsonl"))
+        with open(series_file, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        key = series_file.stem
+        assert len(history.series(slug, key)) == 1
+
+
+class TestCompare:
+    def test_fresh_history_is_all_new(self, tmp_path):
+        verdict = PerfHistory(tmp_path).compare(_report())
+        assert verdict["ok"] and verdict["new_points"] == 2
+        assert all(r["status"] == "new" for r in verdict["rows"])
+
+    def test_identical_report_passes(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        history.ingest(_report(), ts=1.0)
+        verdict = history.compare(_report())
+        assert verdict["ok"] and verdict["new_points"] == 0
+        assert all(r["status"] == "ok" for r in verdict["rows"])
+
+    def test_slowdown_past_gate_regresses(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        for ts in (1.0, 2.0, 3.0):
+            history.ingest(_report(), ts=ts)
+        ok = history.compare(_report(scale=1.05), gate=0.10)
+        assert ok["ok"]
+        bad = history.compare(_report(scale=1.12), gate=0.10)
+        assert not bad["ok"]
+        assert {r["metric"] for r in bad["regressions"]} == {
+            "fraction_s", "int_s",
+        }
+        # the mean columns are not gated by default
+        assert all(
+            r["metric"] != "fraction_mean_s" for r in bad["regressions"]
+        )
+
+    def test_speedup_not_gated_by_default(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        history.ingest(_report(), ts=1.0)
+        report = _report()
+        for row in report["rows"]:
+            row["speedup"] = 100.0  # higher is better; must not trip
+        assert history.compare(report)["ok"]
+
+    def test_explicit_metric_selection(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        history.ingest(_report(), ts=1.0)
+        report = _report(scale=2.0)
+        only_int = history.compare(report, metrics=["int_s"])
+        assert {r["metric"] for r in only_int["regressions"]} == {"int_s"}
+
+    def test_rolling_window_uses_recent_median(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        # old slow observations, then 5 recent fast ones
+        history.ingest(_report(scale=10.0), ts=1.0)
+        for ts in range(2, 7):
+            history.ingest(_report(), ts=float(ts))
+        # a 12% slowdown vs the *recent* baseline must regress even
+        # though it is far below the ancient observation
+        verdict = history.compare(_report(scale=1.12), window=5)
+        assert not verdict["ok"]
+        baseline = verdict["rows"][0]["metrics"]["fraction_s"]["baseline"]
+        assert baseline == pytest.approx(0.010)
+
+    def test_schema_bump_starts_fresh_series(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        history.ingest(_report(schema=2), ts=1.0)
+        verdict = history.compare(_report(scale=5.0, schema=3))
+        assert verdict["ok"] and verdict["new_points"] == 2
+
+    def test_compare_does_not_ingest(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        history.ingest(_report(), ts=1.0)
+        history.compare(_report(scale=1.5))
+        summaries = history.summary()
+        assert all(s["observations"] == 1 for s in summaries)
+
+    def test_parameter_validation(self, tmp_path):
+        history = PerfHistory(tmp_path)
+        with pytest.raises(ValueError, match="gate"):
+            history.compare(_report(), gate=-0.1)
+        with pytest.raises(ValueError, match="window"):
+            history.compare(_report(), window=0)
+        with pytest.raises(ValueError, match="no rows"):
+            history.compare({"bench": "x", "rows": []})
