@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-srt bench-obs bench-incremental obs-smoke perf-check lint-hotpath faults-smoke sweep-smoke telemetry-smoke perf-history check
+.PHONY: test bench-smoke bench bench-srt bench-obs bench-incremental obs-smoke perf-check lint lint-hotpath faults-smoke sweep-smoke telemetry-smoke perf-history check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -54,15 +54,16 @@ faults-smoke:
 	$(PYTHON) -m repro faults -m 4 -n 24 --fault-seed 7 --json > /dev/null
 	@echo "faults-smoke: OK"
 
-# the backend-generic engine hot path must stay free of exact-rational
-# arithmetic: any Fraction usage in these modules belongs in a backend
+# AST-based invariant checkers (docs/STATIC_ANALYSIS.md): exact-backend
+# purity, float-free exact modules, derived (clock/PID-free) identities,
+# worker-safe callables, observer threading.  Exits 1 on any finding.
+lint:
+	$(PYTHON) -m repro lint
+
+# back-compat alias for the old grep gate: the hot-path rule alone, now
+# AST-based (sees aliased imports, ignores comments/docstrings)
 lint-hotpath:
-	@! grep -nE 'Fraction|fractions' \
-		src/repro/engine/loop.py \
-		src/repro/engine/state.py \
-		src/repro/engine/policies.py \
-		|| (echo "lint-hotpath: exact-rational arithmetic found in engine hot path" && exit 1)
-	@echo "lint-hotpath: OK"
+	$(PYTHON) -m repro lint --rule hotpath-exact
 
 # sweep-fabric smoke: tiny sweep -> interrupt -> resume; verifies the
 # resumed report is bit-identical, a repeated run has 100% cache hits
@@ -87,4 +88,4 @@ perf-history:
 	$(PYTHON) -m repro perf compare BENCH_3.json --ingest
 	$(PYTHON) -m repro perf history
 
-check: test lint-hotpath perf-check bench-smoke obs-smoke faults-smoke sweep-smoke telemetry-smoke
+check: test lint perf-check bench-smoke obs-smoke faults-smoke sweep-smoke telemetry-smoke

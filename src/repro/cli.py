@@ -25,7 +25,11 @@ Subcommands
 * ``perf`` — the durable perf time-series: ``ingest`` appends a BENCH
   report to the history store, ``history`` summarizes it, ``compare``
   diffs a fresh report against the rolling baseline and exits 1 on a
-  gated regression.
+  gated regression;
+* ``lint`` — run the AST-based invariant checkers (exact-backend purity,
+  derived identities, worker-safety, observer threading; see
+  docs/STATIC_ANALYSIS.md) over ``src/repro`` + ``tests`` or explicit
+  paths; exits 1 when findings remain, 2 for unknown rules/paths.
 
 ``solve``, ``srj``, ``tasks`` and ``stats`` accept ``--trace-out FILE`` to
 emit a structured JSONL trace (one record per RLE trace run); the
@@ -692,6 +696,21 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0 if verdict["ok"] else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .lint import run_lint
+
+    # unknown rules and missing paths raise ValueError -> exit 2 with the
+    # standard one-line error (never a traceback)
+    report = run_lint(paths=args.paths or None, rules=args.rule or None)
+    if args.json:
+        print(_json.dumps(report.to_jsonable(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     from .analysis.selftest import format_selftest, run_selftest
 
@@ -984,6 +1003,28 @@ def build_parser() -> argparse.ArgumentParser:
         "comparison (so green runs extend the baseline)",
     )
     p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the AST invariant checkers (exactness, determinism, "
+        "worker-safety, telemetry discipline; docs/STATIC_ANALYSIS.md)",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src/repro + tests, "
+        "skipping __pycache__ and .repro-cache)",
+    )
+    p.add_argument(
+        "--rule", action="append", default=None, metavar="NAME",
+        help="run only this rule (repeatable; default: all registered "
+        "rules; unknown names exit 2)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the findings report as JSON (CI uploads this as an "
+        "artifact)",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "selftest", help="quick internal consistency battery"

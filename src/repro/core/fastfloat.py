@@ -1,3 +1,6 @@
+# lint: ok-exact-no-float file — deliberately float-valued fast path for
+# scaling benchmarks; agreement with the exact scheduler is asserted
+# property-based in the test suite (docs/STATIC_ANALYSIS.md)
 """Float fast path for the unit-size algorithm (large-n benchmarks).
 
 The exact schedulers use :class:`fractions.Fraction` so the fractured-job

@@ -41,7 +41,7 @@ class PreemptiveResult:
         return frac_sum(Fraction(1) - u for u in self.utilization)
 
 
-def schedule_preemptive(
+def schedule_preemptive(  # lint: ok-observer-threaded pure relaxation loop outside the engine; no engine events to forward (E11 analysis only)
     instance: Instance,
     budget: Fraction = Fraction(1),
     max_steps: int = 10_000_000,

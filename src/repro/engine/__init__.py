@@ -17,7 +17,8 @@ Structure (see DESIGN.md §4 and docs/PERFORMANCE.md):
   policy together and emit exact-valued results.
 
 ``state``/``loop``/``policies`` are generic over the numeric backend and
-must stay free of exact-rational arithmetic (``make lint-hotpath``).
+must stay free of exact-rational arithmetic (the ``hotpath-exact``
+rule of ``make lint`` — see ``docs/STATIC_ANALYSIS.md``).
 """
 
 from .api import (

@@ -3,9 +3,9 @@
 Scaling is the identity: the engine's generic step loops run directly on
 ``Fraction`` values, reproducing the original reference schedulers
 operation for operation.  This is the only engine module (besides the
-result emitters) allowed to touch :mod:`fractions` — ``make lint-hotpath``
-enforces that the generic loop/state/policy modules stay representation
-agnostic.
+result emitters) allowed to touch :mod:`fractions` — the
+``hotpath-exact`` lint rule enforces that the generic loop/state/policy
+modules stay representation agnostic.
 """
 
 from __future__ import annotations

@@ -5,8 +5,8 @@ This is the single driver behind every scheduler layer in the repo
 online arrival model, fixed-assignment queues, and the vetting
 simulator).  A *policy* is any object with a ``decide(state)`` method
 returning a :class:`StepDecision`; the loop itself is representation
-agnostic and contains no arithmetic beyond the iteration guard (see
-``make lint-hotpath``).
+agnostic and contains no arithmetic beyond the iteration guard (the
+``hotpath-exact`` lint rule enforces this, ``docs/STATIC_ANALYSIS.md``).
 """
 
 from __future__ import annotations

@@ -4,7 +4,7 @@ Each policy is a faithful transliteration of the corresponding reference
 scheduler's step body onto :class:`~repro.engine.state.EngineState`,
 written generically over the numeric backend (see
 ``repro.engine.backends.base`` for the closed-operation contract; this
-module is covered by ``make lint-hotpath``).  The policies:
+module is covered by the ``hotpath-exact`` lint rule).  The policies:
 
 * :class:`SlidingWindowPolicy` — Listing 1 (general SRJ), the hot loop
   formerly in ``perf/intkernel.py`` / ``core/scheduler.py``;

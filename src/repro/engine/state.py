@@ -7,7 +7,8 @@ Theorem-3.3 step statistics.  All quantities live in the *working domain*
 of the attached numeric context (``state.ctx``) — exact rationals for the
 reference backend, LCM-rescaled integers for the fast backend.
 
-Generic-code contract (enforced by ``make lint-hotpath``): this module
+Generic-code contract (enforced by the ``hotpath-exact`` rule of
+``make lint``): this module
 only combines quantities with ``+``, ``-``, ``*int``, ``min``/``max``,
 comparisons, ``//`` and ``%`` — the operations under which both working
 domains are closed — and never constructs a numeric literal other than

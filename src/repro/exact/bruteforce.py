@@ -1,3 +1,5 @@
+# lint: ok-exact-no-float file — LP feasibility check is float-valued by
+# design (scipy linprog); the integral answer is certified exactly
 """Brute-force exact solver for *unit-size* SRJ — an MILP cross-check.
 
 Enumerates, for every job, the contiguous occupancy interval (start step and

@@ -1,3 +1,5 @@
+# lint: ok-exact-no-float file — reads float MILP solutions (scipy); the
+# extracted schedule is re-validated by the exact validator
 """Extracting a verified schedule from an MILP solution.
 
 The feasibility MILP (:mod:`repro.exact.milp`) has no processor variables:

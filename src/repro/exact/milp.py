@@ -1,3 +1,5 @@
+# lint: ok-exact-no-float file — MILP relaxation is float-valued by design
+# (scipy milp); the optimum is certified by the exact validator
 """Exact SRJ makespan via mixed-integer linear programming (HiGHS).
 
 Used by experiment E6 to measure *true* approximation ratios on small

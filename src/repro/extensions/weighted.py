@@ -112,9 +112,13 @@ def weighted_srt_lower_bound(
 
 
 def schedule_tasks_weighted(
-    instance: TaskInstance, weights: Dict[int, Fraction]
+    instance: TaskInstance, weights: Dict[int, Fraction], observer=None
 ) -> TaskScheduleResult:
-    """Section-4 split scheduler with WSPT-style orders inside each half."""
+    """Section-4 split scheduler with WSPT-style orders inside each half.
+
+    ``observer=`` receives the engine events of every sequential run this
+    scheduler performs (see :mod:`repro.obs`).
+    """
     w = _validate_weights(instance, weights)
     m = instance.m
     if not instance.tasks:
@@ -127,7 +131,9 @@ def schedule_tasks_weighted(
             instance.tasks,
             key=lambda t: (t.total_requirement() / w[t.id], t.id),
         )
-        res = run_sequential(ordered, m, Fraction(1), record_steps=False)
+        res = run_sequential(
+            ordered, m, Fraction(1), record_steps=False, observer=observer
+        )
         return TaskScheduleResult(
             instance=instance,
             completion_times=res.completion_times,
@@ -142,7 +148,9 @@ def schedule_tasks_weighted(
         ordered = sorted(
             heavy, key=lambda t: (t.total_requirement() / w[t.id], t.id)
         )
-        res = run_sequential(ordered, m1, r1, record_steps=False)
+        res = run_sequential(
+            ordered, m1, r1, record_steps=False, observer=observer
+        )
         completion.update(res.completion_times)
         makespan = max(makespan, res.makespan)
     if light:
@@ -150,7 +158,9 @@ def schedule_tasks_weighted(
         ordered = sorted(
             light, key=lambda t: (Fraction(t.n_jobs) / w[t.id], t.id)
         )
-        res = run_sequential(ordered, m2, r2, record_steps=False)
+        res = run_sequential(
+            ordered, m2, r2, record_steps=False, observer=observer
+        )
         completion.update(res.completion_times)
         makespan = max(makespan, res.makespan)
     return TaskScheduleResult(
@@ -162,13 +172,13 @@ def schedule_tasks_weighted(
 
 
 def schedule_tasks_weight_oblivious(
-    instance: TaskInstance, weights: Dict[int, Fraction]
+    instance: TaskInstance, weights: Dict[int, Fraction], observer=None
 ) -> TaskScheduleResult:
     """Baseline: ignore the weights (the plain Theorem 4.8 scheduler)."""
     from ..tasks.scheduler import schedule_tasks
 
     _validate_weights(instance, weights)
-    result = schedule_tasks(instance)
+    result = schedule_tasks(instance, observer=observer)
     result.algorithm = "weight-oblivious"
     return result
 

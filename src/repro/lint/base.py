@@ -1,0 +1,314 @@
+"""AST lint framework: rule registry, scoping, suppressions, file scan.
+
+The linter (``repro-sched lint`` / ``make lint``) statically enforces the
+invariants the reproduction's correctness claims rest on — exact-backend
+purity, derived (clock/PID-free) identities, worker-safe callables and the
+observer telemetry contract — at review time instead of after a sweep
+silently diverges.  See docs/STATIC_ANALYSIS.md for the rule catalogue.
+
+Framework pieces:
+
+* **Registry** — :func:`register` adds a :class:`Rule` subclass instance to
+  :data:`RULES`; rules are identified by their kebab-case ``name``.
+* **Scoping** — each rule declares ``scope``: path patterns matched against
+  the resolved POSIX path of every scanned file (``'repro/core/'`` matches
+  a directory subtree, ``'repro/engine/loop.py'`` a single file; an empty
+  scope means every file).  Rules only ever see files they apply to.
+* **Suppressions** — ``# lint: ok-<rule>`` on the line a finding anchors to
+  (the first line of a multi-line statement) suppresses that finding;
+  ``# lint: ok-<rule> file`` anywhere suppresses the rule for the whole
+  file.  Free text after the directive is the (encouraged) justification.
+* **Determinism** — files are de-duplicated by resolved path, displayed
+  relative to the working directory, and findings sort canonically, so the
+  report is byte-identical across runs and path orderings.
+
+The framework is stdlib-only (``ast`` + ``tokenize``) and imports no
+engine code, so linting never executes the modules it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "register",
+    "FileContext",
+    "ImportTracker",
+    "collect_files",
+    "default_paths",
+    "lint_files",
+]
+
+#: the global rule registry, keyed by rule name
+RULES: Dict[str, "Rule"] = {}
+
+#: directory names never descended into when scanning a tree
+SKIP_DIRS = frozenset({"__pycache__", ".repro-cache", ".git", ".pytest_cache",
+                       "build", "dist", ".eggs"})
+
+#: pseudo-rule name used for unparseable files (always reported)
+SYNTAX_RULE = "syntax"
+
+#: ``# lint: ok-<rule> [ok-<rule> ...] [file] [justification]``
+_DIRECTIVE_RE = re.compile(r"#\s*lint:\s*(.*)")
+
+
+def register(cls):
+    """Class decorator: instantiate *cls* and add it to :data:`RULES`."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if rule.name in RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    RULES[rule.name] = rule
+    return cls
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set ``name`` (kebab-case identifier), ``description`` (one
+    line, shown in ``--json`` and the docs) and ``scope`` (path patterns;
+    see module docstring), and implement :meth:`check`, which inspects
+    ``ctx.tree`` and reports via ``ctx.add``.
+    """
+
+    name: str = ""
+    description: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, norm: str) -> bool:
+        if not self.scope:
+            return True
+        return any(_match_scope(norm, pat) for pat in self.scope)
+
+    def check(self, ctx: "FileContext") -> None:
+        raise NotImplementedError
+
+
+def _match_scope(norm: str, pat: str) -> bool:
+    """Match a resolved POSIX path against one scope pattern."""
+    if pat.endswith("/"):
+        return ("/" + pat) in ("/" + norm + "/")
+    return norm == pat or norm.endswith("/" + pat)
+
+
+def _parse_directive(comment: str) -> Tuple[List[str], bool]:
+    """Parse one comment into (suppressed rule names, file-level flag)."""
+    m = _DIRECTIVE_RE.search(comment)
+    if m is None:
+        return [], False
+    rules: List[str] = []
+    file_level = False
+    for token in m.group(1).split():
+        if token.startswith("ok-") and len(token) > 3:
+            rules.append(token[3:])
+        elif rules and token == "file":
+            file_level = True
+            break
+        else:
+            break  # justification text starts here
+    return rules, file_level
+
+
+def _scan_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Collect ``# lint: ok-*`` directives: per-line and file-level sets."""
+    line_ok: Dict[int, Set[str]] = {}
+    file_ok: Set[str] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            rules, file_level = _parse_directive(tok.string)
+            if not rules:
+                continue
+            if file_level:
+                file_ok.update(rules)
+            else:
+                line_ok.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches it
+        pass
+    return line_ok, file_ok
+
+
+class FileContext:
+    """Everything a rule needs about one file, plus its findings sink."""
+
+    def __init__(self, display: str, source: str, tree: ast.AST) -> None:
+        self.display = display
+        self.source = source
+        self.tree = tree
+        self.line_ok, self.file_ok = _scan_suppressions(source)
+        self.findings: List[Finding] = []
+
+    def add(self, rule: str, node, message: str) -> None:
+        """Report *message* at *node* unless a suppression covers it."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        if rule in self.file_ok or rule in self.line_ok.get(line, ()):
+            return
+        self.findings.append(
+            Finding(self.display, line, col, rule, message)
+        )
+
+
+class ImportTracker(ast.NodeVisitor):
+    """Visitor base that resolves import aliases for its subclasses.
+
+    Maintains ``modules`` (local alias → dotted module, from ``import x``
+    and ``import x as y``) and ``members`` (local name → ``(module,
+    original name)``, from ``from x import a as b``), then lets rules ask
+    :meth:`resolve` what module-level attribute a call target denotes —
+    so ``from fractions import Fraction as F`` or ``import time as clock``
+    cannot slip past a textual check.
+    """
+
+    def __init__(self, ctx: FileContext, rule: str) -> None:
+        self.ctx = ctx
+        self.rule = rule
+        self.modules: Dict[str, str] = {}
+        self.members: Dict[str, Tuple[str, str]] = {}
+
+    # -- import bookkeeping (subclass hooks run after bookkeeping) ------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.modules[local] = alias.name
+        self.handle_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            self.members[alias.asname or alias.name] = (module, alias.name)
+        self.handle_import_from(node)
+        self.generic_visit(node)
+
+    def handle_import(self, node: ast.Import) -> None:
+        pass
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        pass
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve(self, func) -> Tuple[Optional[str], Optional[str]]:
+        """``(module, attribute)`` a call target denotes, else ``(None, None)``.
+
+        ``time.monotonic`` resolves through module aliases; a bare name
+        resolves through ``from``-imports (``from time import monotonic``).
+        """
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            module = self.modules.get(func.value.id)
+            if module is not None:
+                return module, func.attr
+            member = self.members.get(func.value.id)
+            if member is not None:
+                # e.g. ``from datetime import datetime`` then datetime.now
+                return f"{member[0]}.{member[1]}", func.attr
+            return None, None
+        if isinstance(func, ast.Name):
+            member = self.members.get(func.id)
+            if member is not None:
+                return member
+        return None, None
+
+
+# ---------------------------------------------------------------------------
+# File collection and the lint run itself
+# ---------------------------------------------------------------------------
+
+
+def default_paths() -> List[Path]:
+    """The default lint surface: ``src/repro`` + ``tests`` when present
+    (the repo layout), else the installed package directory."""
+    present = [p for p in (Path("src/repro"), Path("tests")) if p.is_dir()]
+    if present:
+        return present
+    return [Path(__file__).resolve().parent.parent]
+
+
+def _walk(directory: Path) -> Iterable[Path]:
+    for child in sorted(directory.iterdir(), key=lambda p: p.name):
+        if child.name in SKIP_DIRS or child.name.startswith("."):
+            continue
+        if child.is_dir():
+            yield from _walk(child)
+        elif child.suffix == ".py":
+            yield child
+
+
+def _display(path: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def collect_files(paths: Optional[Sequence] = None) -> List[Path]:
+    """Expand *paths* (default: :func:`default_paths`) into a sorted,
+    de-duplicated list of ``.py`` files.
+
+    Directories are walked recursively, skipping caches
+    (``__pycache__``, ``.repro-cache``, dot-directories).  A missing path
+    or an explicit non-Python file raises :class:`ValueError` — the CLI
+    maps that to the repo's standard one-line error and exit status 2.
+    """
+    candidates: List[Path] = []
+    for raw in paths if paths else default_paths():
+        path = Path(raw)
+        if path.is_dir():
+            candidates.extend(_walk(path))
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise ValueError(f"lint target {str(path)!r} is not a "
+                                 f"Python file")
+            candidates.append(path)
+        else:
+            raise ValueError(f"lint path {str(path)!r} does not exist")
+    unique: Dict[str, Path] = {}
+    for path in candidates:
+        unique.setdefault(str(path.resolve()), path)
+    return sorted(unique.values(), key=_display)
+
+
+def lint_files(
+    files: Sequence[Path], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run *rules* over *files*; canonically sorted findings."""
+    findings: List[Finding] = []
+    for path in files:
+        display = _display(path)
+        norm = path.resolve().as_posix()
+        applicable = [r for r in rules if r.applies_to(norm)]
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                display, exc.lineno or 1, exc.offset or 1, SYNTAX_RULE,
+                f"syntax error: {exc.msg}",
+            ))
+            continue
+        if not applicable:
+            continue
+        ctx = FileContext(display, source, tree)
+        for rule in applicable:
+            rule.check(ctx)
+        findings.extend(ctx.findings)
+    return sorted(findings, key=Finding.sort_key)

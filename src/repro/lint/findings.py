@@ -1,0 +1,42 @@
+"""Structured lint findings with deterministic ordering.
+
+A :class:`Finding` pins one invariant violation to ``file:line:col`` plus
+the rule that fired and a one-line message.  Findings order canonically by
+``(file, line, col, rule, message)`` so the linter's output is
+byte-identical across runs, path orderings and filesystems — the same
+discipline the sweep fabric applies to its reports (docs/SCALING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.file, self.line, self.col, self.rule, self.message)
+
+    def render(self) -> str:
+        """The canonical one-line text form (``file:line:col: rule: msg``)."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

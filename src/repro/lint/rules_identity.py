@@ -1,0 +1,157 @@
+"""``derived-identity``: byte-identity modules must not sample ambient state.
+
+The telemetry and sweep-fabric guarantees (PR 5/6; docs/OBSERVABILITY.md)
+hinge on identities being *derived* — span ids hash their parent id plus a
+stable discriminator, point keys hash canonical parameters — never
+*sampled* from a clock, a pid, an object address or unseeded randomness.
+One ``time.time()`` in ``obs/spans.py`` and the merged ``TRACE.jsonl``
+stops being byte-identical across worker counts; one ``os.getpid()`` in a
+point key and the content-addressed store stops deduplicating across
+shards.  This rule fences the three identity-bearing modules.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileContext, ImportTracker, Rule, register
+
+__all__ = ["DerivedIdentity"]
+
+#: clock-reading members of ``time``
+_CLOCKS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+})
+
+#: wall-clock constructors on ``datetime``/``date``
+_DATETIME_CTORS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+#: process-identity members of ``os``
+_OS_PIDS = frozenset({"getpid", "getppid"})
+
+
+def _chain_root(node):
+    """Innermost ``Name`` of an attribute chain, else ``None``."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+class _IdentityVisitor(ImportTracker):
+    def handle_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name.split(".")[0] == "uuid":
+                self.ctx.add(
+                    self.rule, node,
+                    "uuid import in a byte-identity module (identities "
+                    "must be derived by hashing, not drawn)",
+                )
+
+    def handle_import_from(self, node: ast.ImportFrom) -> None:
+        module = (node.module or "").split(".")[0]
+        if module == "uuid":
+            self.ctx.add(
+                self.rule, node,
+                "uuid import in a byte-identity module (identities must "
+                "be derived by hashing, not drawn)",
+            )
+        elif module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCKS:
+                    self.ctx.add(
+                        self.rule, node,
+                        f"from-import of clock time.{alias.name} in a "
+                        f"byte-identity module",
+                    )
+        elif module == "os":
+            for alias in node.names:
+                if alias.name in _OS_PIDS:
+                    self.ctx.add(
+                        self.rule, node,
+                        f"from-import of os.{alias.name} in a "
+                        f"byte-identity module",
+                    )
+        elif module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    self.ctx.add(
+                        self.rule, node,
+                        f"from-import of random.{alias.name} in a "
+                        f"byte-identity module (only an explicitly "
+                        f"seeded random.Random is allowed)",
+                    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        module, attr = self.resolve(func)
+        root_module = (module or "").split(".")[0]
+        if root_module == "time" and attr in _CLOCKS:
+            self.ctx.add(
+                self.rule, node,
+                f"wall-clock read time.{attr}() in a byte-identity "
+                f"module (identities must be derived, not sampled)",
+            )
+        elif root_module == "os" and attr in _OS_PIDS:
+            self.ctx.add(
+                self.rule, node,
+                f"os.{attr}() in a byte-identity module (ids must not "
+                f"depend on the process layout)",
+            )
+        elif root_module == "uuid":
+            self.ctx.add(
+                self.rule, node,
+                f"uuid.{attr}() in a byte-identity module",
+            )
+        elif root_module == "random" and module == "random" and (
+            attr not in ("Random",)
+        ):
+            self.ctx.add(
+                self.rule, node,
+                f"module-level random.{attr}() in a byte-identity "
+                f"module (use an explicitly seeded random.Random)",
+            )
+        elif isinstance(func, ast.Attribute) and (
+            func.attr in _DATETIME_CTORS
+        ):
+            root = _chain_root(func.value)
+            if root is not None:
+                origin = self.modules.get(root.id)
+                if origin is None:
+                    member = self.members.get(root.id)
+                    origin = member[0] if member else None
+                if origin is not None and origin.split(".")[0] == "datetime":
+                    self.ctx.add(
+                        self.rule, node,
+                        f"wall-clock datetime .{func.attr}() in a "
+                        f"byte-identity module",
+                    )
+        elif isinstance(func, ast.Name) and func.id == "id" and (
+            func.id not in self.members
+        ):
+            self.ctx.add(
+                self.rule, node,
+                "id() in a byte-identity module (object addresses vary "
+                "per process; derive ids by hashing instead)",
+            )
+        self.generic_visit(node)
+
+
+@register
+class DerivedIdentity(Rule):
+    """Span/point identities must be clock-, PID- and RNG-free."""
+
+    name = "derived-identity"
+    description = (
+        "byte-identity modules (obs/spans.py, sweep/spec.py, "
+        "sweep/store.py) must not read clocks, pids, object addresses, "
+        "uuids or unseeded randomness"
+    )
+    scope = (
+        "repro/obs/spans.py",
+        "repro/sweep/spec.py",
+        "repro/sweep/store.py",
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        _IdentityVisitor(ctx, self.name).visit(ctx.tree)

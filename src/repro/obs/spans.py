@@ -211,7 +211,10 @@ def activated(ctx: SpanContext):
 
 def shard_path(span_dir) -> Path:
     """This process's span-shard file under *span_dir*."""
-    return Path(span_dir) / f"{_SHARD_PREFIX}{os.getpid()}.jsonl"
+    # the pid names the per-process *shard file* only; span identities are
+    # pid-free and the merge de-duplicates, so the layout never leaks into
+    # the canonical trace
+    return Path(span_dir) / f"{_SHARD_PREFIX}{os.getpid()}.jsonl"  # lint: ok-derived-identity shard filename only, never an identity
 
 
 #: per-process writer cache, keyed by span dir — so a broken span dir

@@ -63,7 +63,9 @@ class ResultStore:
         """Atomically persist *row* under *key*."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        # the pid keeps concurrent writers' temp files apart; the content
+        # key itself is pid-free (hash of canonical params)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"  # lint: ok-derived-identity temp-file name only, never an identity
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump({"key": key, "params": dict(params), "row": row}, fh)
             fh.write("\n")

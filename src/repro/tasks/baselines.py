@@ -20,10 +20,13 @@ from .model import TaskInstance, TaskScheduleResult
 from .sequential import run_sequential
 
 
-def schedule_tasks_fifo(instance: TaskInstance) -> TaskScheduleResult:
+def schedule_tasks_fifo(
+    instance: TaskInstance, observer=None
+) -> TaskScheduleResult:
     """Process tasks in input order on the whole machine."""
     res = run_sequential(
-        list(instance.tasks), instance.m, Fraction(1), record_steps=False
+        list(instance.tasks), instance.m, Fraction(1), record_steps=False,
+        observer=observer,
     )
     return TaskScheduleResult(
         instance=instance,
@@ -34,14 +37,15 @@ def schedule_tasks_fifo(instance: TaskInstance) -> TaskScheduleResult:
 
 
 def schedule_tasks_by_requirement(
-    instance: TaskInstance,
+    instance: TaskInstance, observer=None
 ) -> TaskScheduleResult:
     """Shortest-total-requirement-first on the whole machine (no split)."""
     ordered = sorted(
         instance.tasks, key=lambda t: (t.total_requirement(), t.id)
     )
     res = run_sequential(
-        ordered, instance.m, Fraction(1), record_steps=False
+        ordered, instance.m, Fraction(1), record_steps=False,
+        observer=observer,
     )
     return TaskScheduleResult(
         instance=instance,
@@ -51,7 +55,9 @@ def schedule_tasks_by_requirement(
     )
 
 
-def schedule_tasks_job_level(instance: TaskInstance) -> TaskScheduleResult:
+def schedule_tasks_job_level(
+    instance: TaskInstance, observer=None
+) -> TaskScheduleResult:
     """Pool all jobs, schedule with the unit-size SRJ algorithm, and derive
     task completion times — the task-oblivious baseline."""
     keys = []  # position -> (task id)
@@ -68,7 +74,7 @@ def schedule_tasks_job_level(instance: TaskInstance) -> TaskScheduleResult:
             algorithm="job-level",
         )
     srj = Instance.from_requirements(instance.m, reqs)
-    result = UnitSizeScheduler(srj).run()
+    result = UnitSizeScheduler(srj).run(observer=observer)
     completion: Dict[int, int] = {}
     for job_id, finish in result.completion_times.items():
         task_id = keys[srj.original_ids[job_id]]

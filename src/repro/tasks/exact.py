@@ -1,3 +1,5 @@
+# lint: ok-exact-no-float file — MILP objective is float-valued by design
+# (scipy milp); completion times are integral and certified exactly
 """Exact SRT: minimize ``Σ f_i`` via MILP (small instances, experiment E5).
 
 Extends the SRJ feasibility formulation (:mod:`repro.exact.milp`) with task

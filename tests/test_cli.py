@@ -39,6 +39,7 @@ EXPECTED_FLAGS = {
         "action", "file", "bench", "gate", "window", "history_dir",
         "json", "ingest",
     },
+    "lint": {"paths", "rule", "json"},
     "selftest": {"trials", "seed"},
     "report": {"output", "scale", "seed", "only"},
 }

@@ -216,7 +216,7 @@ class TestRunner:
         def boom(params):  # runs serially (2 items) so a closure is fine
             raise ValueError("bad point")
 
-        spec = SweepSpec.from_points("t", boom, [{"x": 1}, {"x": 2}])
+        spec = SweepSpec.from_points("t", boom, [{"x": 1}, {"x": 2}])  # lint: ok-worker-safe 2 points run serially, never pickled
         with pytest.raises(ValueError, match="bad point"):
             run_sweep(spec, cache_dir=tmp_path)
 
