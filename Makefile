@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-srt bench-obs bench-incremental obs-smoke perf-check lint lint-hotpath faults-smoke sweep-smoke telemetry-smoke perf-history check
+.PHONY: test bench-smoke bench bench-srt bench-obs bench-incremental obs-smoke perf-check lint lint-hotpath faults-smoke sweep-smoke telemetry-smoke serve-smoke faultsweep perf-history check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -80,6 +80,21 @@ telemetry-smoke:
 	$(PYTHON) -m repro.obs.smoke
 	@echo "telemetry-smoke: OK"
 
+# service-daemon smoke (docs/SERVICE.md): boot a real `repro-sched serve`
+# daemon, then drive concurrent clients through every failure path —
+# malformed frames, worker crashes, hangs past the deadline, an admission
+# flood, a FaultPlan-derived injection mix — and finish with a SIGTERM
+# drain that must checkpoint queued work and exit 0.  Artifacts (daemon
+# log, state files) land in .repro-service-smoke/ for CI upload.
+serve-smoke:
+	$(PYTHON) -m repro.service.smoke
+	@echo "serve-smoke: OK"
+
+# regenerate FAULTSWEEP.json through the sweep fabric (cache-aware; the
+# report records cache hit/solved counts like every BENCH artifact)
+faultsweep:
+	$(PYTHON) -m repro sweep run faultsweep --cache-dir .repro-cache/sweeps
+
 # ingest the current BENCH artifacts into the durable perf time-series
 # and gate them against the rolling baseline (docs/OBSERVABILITY.md)
 perf-history:
@@ -88,4 +103,4 @@ perf-history:
 	$(PYTHON) -m repro perf compare BENCH_3.json --ingest
 	$(PYTHON) -m repro perf history
 
-check: test lint perf-check bench-smoke obs-smoke faults-smoke sweep-smoke telemetry-smoke
+check: test lint perf-check bench-smoke obs-smoke faults-smoke sweep-smoke telemetry-smoke serve-smoke

@@ -29,7 +29,19 @@ Subcommands
 * ``lint`` — run the AST-based invariant checkers (exact-backend purity,
   derived identities, worker-safety, observer threading; see
   docs/STATIC_ANALYSIS.md) over ``src/repro`` + ``tests`` or explicit
-  paths; exits 1 when findings remain, 2 for unknown rules/paths.
+  paths; exits 1 when findings remain, 2 for unknown rules/paths;
+* ``serve`` — run the scheduler-as-a-service daemon: bounded admission
+  queue with load-shedding, per-request deadlines, worker-crash
+  recovery, graceful SIGTERM drain (see docs/SERVICE.md);
+* ``call`` — send one request to a running daemon and print the result
+  JSON (exit 0) or the structured error (exit 1; exit 2 when the daemon
+  cannot be located or the request is malformed).
+
+Every subcommand follows one error contract: malformed input (missing
+files, invalid JSON, bad parameter combinations) exits with status 2 and
+a single ``repro-sched: error: ...`` line on stderr — never a traceback
+(:func:`cli_error`).  Exit 1 is reserved for well-formed runs whose
+outcome is negative (gate failures, invalid schedules, service errors).
 
 ``solve``, ``srj``, ``tasks`` and ``stats`` accept ``--trace-out FILE`` to
 emit a structured JSONL trace (one record per RLE trace run); the
@@ -60,6 +72,18 @@ from .core.instance import Instance
 from .core.scheduler import schedule_srj
 from .tasks import schedule_tasks, srt_lower_bound
 from .workloads import make_instance, make_taskset, uniform_fractions
+
+
+def cli_error(message: str) -> int:
+    """The one CLI error contract: one line on stderr, exit status 2.
+
+    Subcommands either raise ``ValueError``/``OSError`` (caught in
+    :func:`main`, which delegates here) or call this directly when they
+    need to report-and-return without an exception.  Either way the user
+    sees ``repro-sched: error: <message>`` and never a traceback.
+    """
+    print(f"repro-sched: error: {message}", file=sys.stderr)
+    return 2
 
 
 def _open_trace(args: argparse.Namespace):
@@ -217,8 +241,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
     for name in names:
         if name not in ALL_EXPERIMENTS:
-            print(f"unknown experiment {name!r}; have {sorted(ALL_EXPERIMENTS)}")
-            return 2
+            return cli_error(
+                f"unknown experiment {name!r}; "
+                f"have {sorted(ALL_EXPERIMENTS)}"
+            )
         table = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
         print(table.render())
         print()
@@ -593,7 +619,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     report = entry.run(
         args.scale, args.seed, args.cache_dir, args.workers, shard, out,
-        spans=args.trace_spans,
+        spans=args.trace_spans, timeout=args.timeout,
+        retries=args.retries, backoff=args.backoff,
     )
     cache = report.get("cache", {})
     rows = report.get("rows", [])
@@ -635,7 +662,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 f"perf {args.action} requires a BENCH report file"
             )
         with open(path, encoding="utf-8") as fh:
-            return _json.load(fh)
+            try:
+                report = _json.load(fh)
+            except _json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not valid JSON ({exc})") from None
+        if not isinstance(report, dict):
+            raise ValueError(
+                f"{path}: expected a BENCH report object, got "
+                f"{type(report).__name__}"
+            )
+        return report
 
     if args.action == "ingest":
         report = load_report(args.file)
@@ -694,6 +730,87 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         n = history.ingest(report, bench=args.bench)
         print(f"ingested {n} row(s) into {history.root}")
     return 0 if verdict["ok"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.default_deadline,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        allow_test_faults=args.allow_test_faults,
+        heartbeat_interval_s=args.heartbeat_interval,
+    )
+    # bad parameter combos raise ValueError -> exit 2 via main()
+    config.validate()
+    return serve(config)
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import (
+        RetryableServiceError,
+        ServiceClient,
+        ServiceError,
+        locate_service,
+    )
+
+    if args.params is not None:
+        try:
+            params = _json.loads(args.params)
+        except _json.JSONDecodeError as exc:
+            raise ValueError(f"--params is not valid JSON: {exc}") from None
+        if not isinstance(params, dict):
+            raise ValueError(
+                f"--params must be a JSON object, got "
+                f"{type(params).__name__}"
+            )
+    else:
+        params = {}
+
+    if args.host is not None:
+        if args.port is None:
+            raise ValueError("--host requires --port")
+        host, port = args.host, args.port
+    else:
+        # missing/corrupt/stopped state file raises ValueError -> exit 2
+        state = locate_service(args.state_dir)
+        host, port = state["host"], state["port"]
+
+    # connection failures are OSError -> exit 2 via main()
+    with ServiceClient(host, port, timeout=args.timeout) as client:
+        try:
+            result = client.call_checked(
+                args.method, params, deadline_s=args.deadline,
+                max_retries=args.retries,
+            )
+        except RetryableServiceError as exc:
+            print(
+                _json.dumps(
+                    {"error": {"code": exc.code, "message": exc.message,
+                               "retry_after_s": exc.retry_after_s}},
+                    indent=2, sort_keys=True,
+                )
+            )
+            return 1
+        except ServiceError as exc:
+            print(
+                _json.dumps(
+                    {"error": {"code": exc.code, "message": exc.message}},
+                    indent=2, sort_keys=True,
+                )
+            )
+            return 1
+    print(_json.dumps(result, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -956,6 +1073,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'trace': keep wall-clock fields in the merged trace "
         "(default drops them so the output is byte-reproducible)",
     )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock bound enforced by the hardened "
+        "runner (default: unbounded)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-runs for points lost to a crashed worker or a timeout "
+        "(default: 2)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base delay between retry rounds, doubled each round "
+        "(default: 0.05)",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
@@ -1003,6 +1135,104 @@ def build_parser() -> argparse.ArgumentParser:
         "comparison (so green runs extend the baseline)",
     )
     p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduler-as-a-service daemon: bounded admission, "
+        "per-request deadlines, worker-crash recovery, graceful SIGTERM "
+        "drain (docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = pick a free port; the bound port "
+        "is published in the state file)",
+    )
+    p.add_argument(
+        "--state-dir", default=".repro-service", metavar="DIR",
+        help="where SERVICE.json (host/port/status), the heartbeat, the "
+        "request log and drain checkpoints live",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent request slots; each request runs in its own "
+        "worker process (default: 2)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="admission-queue bound; requests beyond it are shed with "
+        "an 'overloaded' error (default: 16)",
+    )
+    p.add_argument(
+        "--default-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="deadline for requests that do not send deadline_s "
+        "(default: 30)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="hard per-attempt cap for worker execution, in addition to "
+        "the per-request deadline (default: the deadline alone)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="re-runs for a request lost to a crashed worker "
+        "(default: 1)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base delay between worker retry rounds (default: 0.05)",
+    )
+    p.add_argument(
+        "--heartbeat-interval", type=float, default=2.0, metavar="SECONDS",
+        help="heartbeat telemetry period (default: 2s)",
+    )
+    p.add_argument(
+        "--allow-test-faults", action="store_true",
+        help="accept the _fault request parameter (crash/hang/error "
+        "injection; the serve-smoke battery only)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "call",
+        help="send one request to a running repro-sched daemon and "
+        "print the result (or the structured error)",
+    )
+    p.add_argument(
+        "method",
+        help="request method: solve, simulate, stats, ping, status, "
+        "sweep_status",
+    )
+    p.add_argument(
+        "--params", default=None, metavar="JSON",
+        help="request parameters as a JSON object (default: {})",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline (default: the server's default)",
+    )
+    p.add_argument(
+        "--state-dir", default=".repro-service", metavar="DIR",
+        help="locate the daemon via DIR/SERVICE.json "
+        "(default: .repro-service)",
+    )
+    p.add_argument(
+        "--host", default=None,
+        help="connect directly instead of via --state-dir "
+        "(requires --port)",
+    )
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="client socket timeout (default: 60)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="client-side retries for retryable errors (overloaded, "
+        "shutting_down, worker_crashed), honoring retry_after_s "
+        "(default: 0)",
+    )
+    p.set_defaults(func=_cmd_call)
 
     p = sub.add_parser(
         "lint",
@@ -1053,8 +1283,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, ValueError) as exc:
         # missing/malformed input files, bad plans, bad parameter combos:
         # one line on stderr, exit 2, never a traceback
-        print(f"repro-sched: error: {exc}", file=sys.stderr)
-        return 2
+        return cli_error(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,11 +22,13 @@ under any ``parallel_map`` worker count (tested).
 
 from .model import KINDS, FaultEvent, FaultPlan, FaultPlanError
 from .runner import (
+    INJECTION_KINDS,
     FaultedResult,
     FaultRecoveryError,
     FaultSegment,
     RecoveryResult,
     degradation_report,
+    injection_schedule,
     recover,
     run_with_faults,
     validate_faulted,
@@ -53,4 +55,6 @@ __all__ = [
     "recover",
     "validate_faulted",
     "degradation_report",
+    "injection_schedule",
+    "INJECTION_KINDS",
 ]

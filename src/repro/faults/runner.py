@@ -54,6 +54,8 @@ __all__ = [
     "recover",
     "validate_faulted",
     "degradation_report",
+    "injection_schedule",
+    "INJECTION_KINDS",
 ]
 
 
@@ -509,6 +511,35 @@ def validate_faulted(result: FaultedResult) -> ValidationReport:
         violations=violations,
         makespan=result.makespan,
     )
+
+
+#: process-level fault vocabulary :func:`injection_schedule` emits —
+#: consumers (the service smoke battery) map these onto their own
+#: failure surface
+INJECTION_KINDS = ("worker_crash", "slow", "malformed", "recover")
+
+
+def injection_schedule(plan: FaultPlan) -> List[Dict]:
+    """Derive a process-level fault-injection schedule from *plan*.
+
+    The model-level vocabulary (``crash``/``restore``/``dip``/``abort``)
+    maps onto the failure surface of a *process* executing requests: a
+    processor crash becomes a worker crash, a capacity dip becomes a slow
+    (hanging) worker, an abort becomes a malformed request, and a restore
+    becomes a plain recovery probe.  Because :meth:`FaultPlan.random` is
+    a pure function of its seed, the whole schedule is too — the service
+    smoke battery replays the same injections on every run.
+    """
+    mapping = {
+        "crash": "worker_crash",
+        "dip": "slow",
+        "abort": "malformed",
+        "restore": "recover",
+    }
+    return [
+        {"t": ev.t, "kind": mapping[ev.kind], "source": ev.kind}
+        for ev in plan.events
+    ]
 
 
 def degradation_report(result: FaultedResult) -> Dict:

@@ -144,13 +144,14 @@ class DerivedIdentity(Rule):
     name = "derived-identity"
     description = (
         "byte-identity modules (obs/spans.py, sweep/spec.py, "
-        "sweep/store.py) must not read clocks, pids, object addresses, "
-        "uuids or unseeded randomness"
+        "sweep/store.py, service/protocol.py) must not read clocks, "
+        "pids, object addresses, uuids or unseeded randomness"
     )
     scope = (
         "repro/obs/spans.py",
         "repro/sweep/spec.py",
         "repro/sweep/store.py",
+        "repro/service/protocol.py",
     )
 
     def check(self, ctx: FileContext) -> None:

@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..sweep import SweepSpec, run_sweep, scale_grid
 from .intkernel import solve_srj
-from .parallel import seed_for
+from .parallel import BACKOFF_BASE, seed_for
 
 __all__ = ["run_bench", "bench_spec", "peak_rss_kb", "write_report"]
 
@@ -136,6 +136,9 @@ def run_bench(
     workers: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     spans: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = BACKOFF_BASE,
 ) -> Dict[str, object]:
     """Run the two-backend E4 sweep; return (and optionally write) a report.
 
@@ -144,10 +147,13 @@ def run_bench(
     ``index % k == i`` slice runs and the summary is omitted (``partial``)
     until an unsharded merge run assembles the full report from cache.
     *spans* (requires *cache_dir*) emits the hierarchical span trace.
+    *timeout*/*retries*/*backoff* are the hardened-runner knobs (the
+    ``--timeout/--retries/--backoff`` CLI flags).
     """
     spec = bench_spec(scale=scale, seed=seed, reps=reps)
     sweep = run_sweep(
-        spec, cache_dir=cache_dir, workers=workers, shard=shard, spans=spans
+        spec, cache_dir=cache_dir, workers=workers, shard=shard, spans=spans,
+        timeout=timeout, retries=retries, backoff=backoff,
     )
     rows = sweep.rows
     report: Dict[str, object] = {
@@ -223,6 +229,21 @@ def add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         help="run only points with index %% K == I into the shared cache",
     )
     parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock bound enforced by the hardened runner "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-runs for points lost to a crashed worker or a timeout "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=BACKOFF_BASE, metavar="SECONDS",
+        help="base delay between retry rounds, doubled each round "
+        f"(default: {BACKOFF_BASE})",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -238,6 +259,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_bench(
         scale=args.scale, seed=args.seed, out=args.out,
         cache_dir=args.cache_dir, shard=parse_shard(args.shard),
+        workers=args.workers, timeout=args.timeout, retries=args.retries,
+        backoff=args.backoff,
     )
     print(f"wrote {args.out}")
     if "summary" in report:

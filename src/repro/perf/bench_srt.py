@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..sweep import SweepSpec, run_sweep, scale_grid
 from .bench import add_sweep_flags, parse_shard, peak_rss_kb, write_report
-from .parallel import seed_for
+from .parallel import BACKOFF_BASE, seed_for
 
 __all__ = ["run_bench_srt", "bench_srt_spec", "write_report"]
 
@@ -126,11 +126,15 @@ def run_bench_srt(
     workers: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     spans: bool = False,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = BACKOFF_BASE,
 ) -> Dict[str, object]:
     """Run the two-backend SRT sweep; return (and optionally write) a report."""
     spec = bench_srt_spec(scale=scale, seed=seed, reps=reps)
     sweep = run_sweep(
-        spec, cache_dir=cache_dir, workers=workers, shard=shard, spans=spans
+        spec, cache_dir=cache_dir, workers=workers, shard=shard, spans=spans,
+        timeout=timeout, retries=retries, backoff=backoff,
     )
     rows = sweep.rows
     report: Dict[str, object] = {
@@ -187,6 +191,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_bench_srt(
         scale=args.scale, seed=args.seed, out=args.out,
         cache_dir=args.cache_dir, shard=parse_shard(args.shard),
+        workers=args.workers, timeout=args.timeout, retries=args.retries,
+        backoff=args.backoff,
     )
     print(f"wrote {args.out}")
     if "summary" in report:

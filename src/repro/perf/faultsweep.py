@@ -109,6 +109,7 @@ def fault_sweep(
     workers: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 2,
+    backoff: Optional[float] = None,
     cache_dir: Optional[str] = None,
     shard: Optional[Tuple[int, int]] = None,
     spans: bool = False,
@@ -123,9 +124,10 @@ def fault_sweep(
         family=family, m=m, n=n, trials=trials, seed=seed,
         events=events, horizon=horizon,
     )
+    extra = {} if backoff is None else {"backoff": backoff}
     report = run_sweep(
         spec, cache_dir=cache_dir, workers=workers, shard=shard,
-        timeout=timeout, retries=retries, spans=spans,
+        timeout=timeout, retries=retries, spans=spans, **extra,
     )
     return report.rows
 
@@ -147,11 +149,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument("--events", type=int, default=6)
     parser.add_argument("--horizon", type=int, default=200)
-    parser.add_argument("--timeout", type=float, default=None)
-    parser.add_argument("--retries", type=int, default=2)
     parser.add_argument(
         "--json", action="store_true", help="emit rows as JSON lines"
     )
+    # --timeout/--retries/--backoff now come from the shared fabric flags
     add_sweep_flags(parser)
     args = parser.parse_args(argv)
 
@@ -166,6 +167,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
+        backoff=args.backoff,
         cache_dir=args.cache_dir,
         shard=parse_shard(args.shard),
     )

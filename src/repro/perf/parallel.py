@@ -67,7 +67,7 @@ __all__ = [
 _MIN_PARALLEL_ITEMS = 4
 
 #: base backoff delay between retry rounds (seconds)
-_BACKOFF_BASE = 0.05
+BACKOFF_BASE = 0.05
 
 
 class ParallelExecutionError(RuntimeError):
@@ -109,9 +109,10 @@ def parallel_map(
     chunksize: Optional[int] = None,
     timeout: Optional[float] = None,
     retries: int = 2,
-    backoff: float = _BACKOFF_BASE,
+    backoff: float = BACKOFF_BASE,
     jitter_seed: int = 0,
     stats: Optional[MutableMapping[str, int]] = None,
+    isolate: bool = False,
 ) -> List[U]:
     """Map *fn* over *items*, fanning out across processes; ordered results.
 
@@ -132,12 +133,21 @@ def parallel_map(
     place as infrastructure failures are handled — the sweep runner
     surfaces them in its heartbeat telemetry.  Counters only ever grow;
     a clean run leaves the mapping untouched.
+
+    *isolate* skips the tiny-batch/single-worker serial shortcut, so
+    every task runs in a worker *process* even for a one-item map — the
+    scheduler daemon needs that: a timeout is only enforceable, and a
+    crash only survivable, across a process boundary.  The sandbox
+    fallback (no pools available at all) still degrades to the serial
+    map, where timeouts are best-effort only.
     """
     items = list(items)
     if retries < 0:
         raise ValueError("retries must be >= 0")
     n_workers = min(auto_workers(workers), max(len(items), 1))
-    if n_workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS:
+    if not isolate and (
+        n_workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS
+    ):
         return _serial_map(fn, items, timeout)
     if timeout is None:
         # fast path: one chunked pool.map (identical to the pre-hardening

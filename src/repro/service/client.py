@@ -1,0 +1,213 @@
+"""Blocking client for the scheduler service (and ``repro-sched call``).
+
+:class:`ServiceClient` speaks the :mod:`repro.service.protocol` framing
+over a plain TCP socket — synchronous on purpose, so scripts, tests and
+the CLI can drive the asyncio daemon without owning an event loop.  It
+understands the service's robustness vocabulary: :meth:`call` returns
+the raw validated response, while :meth:`call_checked` unwraps results,
+raises typed errors, and (optionally) honors ``retry_after_s`` hints for
+the retryable codes (``overloaded``/``shutting_down``/``worker_crashed``).
+
+The client never retries *non*-retryable errors and never resends a
+request whose response arrived — retrying is safe regardless because
+every method is a pure function of its params.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from . import protocol as wire
+from .server import STATE_NAME
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "RetryableServiceError",
+    "locate_service",
+]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with a structured error response."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after_s: Optional[float] = None) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class RetryableServiceError(ServiceError):
+    """An error from :data:`repro.service.protocol.RETRYABLE_CODES` —
+    the same request may succeed if resubmitted later."""
+
+
+def locate_service(state_dir: Union[str, Path]) -> Dict:
+    """Read a daemon's ``SERVICE.json`` to find its address.
+
+    Raises :class:`ValueError` (→ CLI exit 2) when the file is missing,
+    corrupt, or describes a stopped daemon.
+    """
+    path = Path(state_dir) / STATE_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            state = json.load(fh)
+    except OSError as exc:
+        raise ValueError(
+            f"no service state at {path} (is the daemon running?): {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt service state {path}: {exc}") from exc
+    if not isinstance(state, dict):
+        raise ValueError(f"corrupt service state {path}: not a JSON object")
+    host, port = state.get("host"), state.get("port")
+    if not isinstance(host, str) or not isinstance(port, int) \
+            or isinstance(port, bool) or not (0 < port < 65536):
+        raise ValueError(
+            f"corrupt service state {path}: no usable host/port"
+        )
+    if state.get("status") == "stopped":
+        raise ValueError(
+            f"service at {path} is stopped (exited cleanly); restart it "
+            f"with 'repro-sched serve'"
+        )
+    return state
+
+
+class ServiceClient:
+    """One connection to the daemon; usable as a context manager."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 max_frame_bytes: int = wire.DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+
+    @classmethod
+    def from_state_dir(cls, state_dir: Union[str, Path],
+                       timeout: float = 60.0) -> "ServiceClient":
+        state = locate_service(state_dir)
+        return cls(state["host"], state["port"], timeout=timeout)
+
+    # -- connection management ------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- framing --------------------------------------------------------
+
+    def _recv_exactly(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError(
+                    "service closed the connection mid-frame"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def send_payload(self, payload: Dict) -> None:
+        """Send one raw frame (the smoke battery uses this to send
+        deliberately invalid payloads)."""
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(wire.encode_frame(payload, self.max_frame_bytes))
+
+    def send_raw(self, data: bytes) -> None:
+        """Send arbitrary bytes — for injecting corrupt frames in tests."""
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(data)
+
+    def recv_response(self) -> Dict:
+        """Read and validate one response frame."""
+        self.connect()
+        header = self._recv_exactly(wire.HEADER_SIZE)
+        (length,) = struct.unpack(">I", header)
+        if length == 0 or length > self.max_frame_bytes:
+            raise ConnectionError(
+                f"service sent an implausible frame length {length}"
+            )
+        body = self._recv_exactly(length)
+        return wire.validate_response(wire.decode_payload(body))
+
+    # -- request API ----------------------------------------------------
+
+    def call(self, method: str, params: Optional[Dict] = None,
+             deadline_s: Optional[float] = None,
+             req_id: Union[str, int, None] = None) -> Dict:
+        """One request/response round-trip; returns the raw response."""
+        if req_id is None:
+            self._next_id += 1
+            req_id = self._next_id
+        self.send_payload(
+            wire.make_request(req_id, method, params, deadline_s)
+        )
+        return self.recv_response()
+
+    def call_checked(self, method: str, params: Optional[Dict] = None,
+                     deadline_s: Optional[float] = None,
+                     max_retries: int = 0) -> Dict:
+        """Call and unwrap: the ``result`` object, or a typed error.
+
+        *max_retries* > 0 resubmits after retryable errors, sleeping the
+        service's ``retry_after_s`` hint (capped at 5s) between attempts.
+        """
+        attempt = 0
+        while True:
+            response = self.call(method, params, deadline_s)
+            if response["ok"]:
+                return response["result"]
+            error = response["error"]
+            code = error["code"]
+            exc_type = (
+                RetryableServiceError if code in wire.RETRYABLE_CODES
+                else ServiceError
+            )
+            exc = exc_type(
+                code, error.get("message", ""), error.get("retry_after_s")
+            )
+            if not isinstance(exc, RetryableServiceError) \
+                    or attempt >= max_retries:
+                raise exc
+            attempt += 1
+            time.sleep(min(exc.retry_after_s or 0.1, 5.0))
+
+    def ping(self) -> Dict:
+        return self.call_checked("ping")
+
+    def status(self) -> Dict:
+        return self.call_checked("status")

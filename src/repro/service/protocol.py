@@ -1,0 +1,365 @@
+"""Wire protocol of the scheduler service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The framing makes the stream self-synchronizing at
+frame granularity: a payload that fails to parse was still consumed
+exactly (its length was known), so one bad frame never desynchronizes the
+connection — only a corrupt *header* (an implausible length) or a torn
+frame forces the connection closed.
+
+Request schema (version ``1``)::
+
+    {"v": 1, "id": 7, "method": "solve", "params": {...},
+     "deadline_s": 5.0}            # deadline optional, seconds, relative
+
+Response schema::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": {"code": "overloaded",
+     "message": "...", "retry_after_s": 0.5}}   # retry hint optional
+
+``id`` is chosen by the client (string or int) and echoed verbatim, so
+clients may pipeline requests on one connection and match responses by
+id; responses can arrive out of order.  Error codes are the closed set in
+:data:`ERROR_CODES` — clients dispatch on the code, never on the message.
+Codes in :data:`RETRYABLE_CODES` mean the same request may succeed later
+(honor ``retry_after_s`` when present); the rest are permanent for that
+request.
+
+This module is deliberately **pure**: framing, validation and schema
+builders only — no sockets, no clocks, no process state (it is covered by
+the ``derived-identity`` lint rule).  The server and client own all I/O
+and timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "WORK_METHODS",
+    "INLINE_METHODS",
+    "METHODS",
+    "ERROR_CODES",
+    "RETRYABLE_CODES",
+    "E_MALFORMED_FRAME",
+    "E_FRAME_TOO_LARGE",
+    "E_UNSUPPORTED_VERSION",
+    "E_INVALID_REQUEST",
+    "E_UNKNOWN_METHOD",
+    "E_INVALID_PARAMS",
+    "E_OVERLOADED",
+    "E_DEADLINE_EXCEEDED",
+    "E_WORKER_CRASHED",
+    "E_SHUTTING_DOWN",
+    "E_INTERNAL",
+    "ProtocolError",
+    "Request",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "make_request",
+    "ok_response",
+    "error_response",
+    "validate_request",
+    "validate_response",
+]
+
+#: bump when the request/response schema changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: frame header: one unsigned 32-bit big-endian payload length
+HEADER_SIZE = 4
+_HEADER = struct.Struct(">I")
+
+#: refuse frames larger than this (a corrupt header usually decodes to a
+#: huge length; treating it as fatal keeps a garbage byte stream from
+#: stalling the reader on a multi-gigabyte "payload")
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+# --- methods ---------------------------------------------------------------
+
+#: methods dispatched onto the worker pool (each runs in its own process)
+WORK_METHODS = frozenset({"solve", "simulate", "stats"})
+
+#: methods the daemon answers inline on the event loop (cheap reads)
+INLINE_METHODS = frozenset({"ping", "status", "sweep_status"})
+
+METHODS = WORK_METHODS | INLINE_METHODS
+
+# --- error codes -----------------------------------------------------------
+
+E_MALFORMED_FRAME = "malformed_frame"      #: payload was not a JSON object
+E_FRAME_TOO_LARGE = "frame_too_large"      #: header length over the limit
+E_UNSUPPORTED_VERSION = "unsupported_version"
+E_INVALID_REQUEST = "invalid_request"      #: schema violation (id/deadline)
+E_UNKNOWN_METHOD = "unknown_method"
+E_INVALID_PARAMS = "invalid_params"        #: method rejected its params
+E_OVERLOADED = "overloaded"                #: admission queue full — shed
+E_DEADLINE_EXCEEDED = "deadline_exceeded"  #: deadline hit before/while run
+E_WORKER_CRASHED = "worker_crashed"        #: worker died, retries exhausted
+E_SHUTTING_DOWN = "shutting_down"          #: daemon is draining
+E_INTERNAL = "internal"                    #: handler bug; request failed
+
+ERROR_CODES = frozenset({
+    E_MALFORMED_FRAME, E_FRAME_TOO_LARGE, E_UNSUPPORTED_VERSION,
+    E_INVALID_REQUEST, E_UNKNOWN_METHOD, E_INVALID_PARAMS, E_OVERLOADED,
+    E_DEADLINE_EXCEEDED, E_WORKER_CRASHED, E_SHUTTING_DOWN, E_INTERNAL,
+})
+
+#: the request itself was fine — resubmitting it later may succeed
+RETRYABLE_CODES = frozenset({
+    E_OVERLOADED, E_SHUTTING_DOWN, E_WORKER_CRASHED,
+})
+
+
+class ProtocolError(ValueError):
+    """A frame or payload violated the protocol.
+
+    *fatal* marks errors after which the byte stream cannot be trusted
+    (corrupt header, oversized frame, torn frame): the connection must be
+    closed.  Non-fatal errors consumed a complete frame, so the
+    connection keeps serving subsequent frames.
+    """
+
+    def __init__(self, code: str, message: str, fatal: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.fatal = fatal
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated request (see :func:`validate_request`)."""
+
+    id: Union[str, int]
+    method: str
+    params: Dict
+    deadline_s: Optional[float]
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(
+    payload: Dict, max_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Serialize *payload* into one length-prefixed frame."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            E_FRAME_TOO_LARGE,
+            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte limit",
+            fatal=True,
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> Dict:
+    """Parse one frame's payload; must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            E_MALFORMED_FRAME, f"payload is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            E_MALFORMED_FRAME,
+            f"payload must be a JSON object, got {type(payload).__name__}",
+        )
+    return payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Optional[Dict]:
+    """Read one frame; ``None`` on clean EOF (no partial header).
+
+    Raises :class:`ProtocolError` — fatal for corrupt headers and torn
+    frames, non-fatal for complete frames with malformed payloads.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            E_MALFORMED_FRAME,
+            f"connection closed mid-header ({len(exc.partial)} of "
+            f"{HEADER_SIZE} bytes)",
+            fatal=True,
+        ) from exc
+    (length,) = _HEADER.unpack(header)
+    if length == 0 or length > max_bytes:
+        raise ProtocolError(
+            E_FRAME_TOO_LARGE,
+            f"frame header announces {length} bytes "
+            f"(limit {max_bytes}); closing the unsynchronized stream",
+            fatal=True,
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            E_MALFORMED_FRAME,
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} bytes)",
+            fatal=True,
+        ) from exc
+    return decode_payload(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    payload: Dict,
+    max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Encode and send one frame, waiting for the transport to drain."""
+    writer.write(encode_frame(payload, max_bytes))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Schema builders
+# ---------------------------------------------------------------------------
+
+
+def make_request(
+    req_id: Union[str, int],
+    method: str,
+    params: Optional[Dict] = None,
+    deadline_s: Optional[float] = None,
+) -> Dict:
+    """Build a request payload (client side)."""
+    payload: Dict = {"v": PROTOCOL_VERSION, "id": req_id, "method": method}
+    if params:
+        payload["params"] = params
+    if deadline_s is not None:
+        payload["deadline_s"] = deadline_s
+    return payload
+
+
+def ok_response(req_id: Union[str, int, None], result: Dict) -> Dict:
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": True,
+            "result": result}
+
+
+def error_response(
+    req_id: Union[str, int, None],
+    code: str,
+    message: str,
+    retry_after_s: Optional[float] = None,
+) -> Dict:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    error: Dict = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": False, "error": error}
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def salvage_id(payload: Dict) -> Union[str, int, None]:
+    """Best-effort request id from an invalid payload, for the error
+    response — only ids of the documented types are echoed back."""
+    req_id = payload.get("id")
+    return req_id if isinstance(req_id, (str, int)) else None
+
+
+def validate_request(payload: Dict) -> Request:
+    """Check *payload* against the request schema; raises
+    :class:`ProtocolError` (never fatal — the frame itself was fine)."""
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_UNSUPPORTED_VERSION,
+            f"protocol version {version!r} not supported "
+            f"(speak v{PROTOCOL_VERSION})",
+        )
+    req_id = payload.get("id")
+    if not isinstance(req_id, (str, int)) or isinstance(req_id, bool):
+        raise ProtocolError(
+            E_INVALID_REQUEST, "request 'id' must be a string or an integer"
+        )
+    method = payload.get("method")
+    if not isinstance(method, str):
+        raise ProtocolError(
+            E_INVALID_REQUEST, "request 'method' must be a string"
+        )
+    if method not in METHODS:
+        raise ProtocolError(
+            E_UNKNOWN_METHOD,
+            f"unknown method {method!r} "
+            f"(choose from: {', '.join(sorted(METHODS))})",
+        )
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            E_INVALID_PARAMS, "request 'params' must be a JSON object"
+        )
+    deadline = payload.get("deadline_s")
+    if deadline is not None:
+        if not isinstance(deadline, (int, float)) or isinstance(
+            deadline, bool
+        ) or deadline <= 0:
+            raise ProtocolError(
+                E_INVALID_REQUEST,
+                "request 'deadline_s' must be a positive number of seconds",
+            )
+        deadline = float(deadline)
+    unknown = set(payload) - {"v", "id", "method", "params", "deadline_s"}
+    if unknown:
+        raise ProtocolError(
+            E_INVALID_REQUEST,
+            f"unknown request field(s): {', '.join(sorted(unknown))}",
+        )
+    return Request(
+        id=req_id, method=method, params=params, deadline_s=deadline
+    )
+
+
+def validate_response(payload: Dict) -> Dict:
+    """Check a response payload (client side); returns it unchanged."""
+    if payload.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_UNSUPPORTED_VERSION,
+            f"response protocol version {payload.get('v')!r} not supported",
+        )
+    ok = payload.get("ok")
+    if not isinstance(ok, bool):
+        raise ProtocolError(
+            E_MALFORMED_FRAME, "response 'ok' must be a boolean"
+        )
+    if ok and not isinstance(payload.get("result"), dict):
+        raise ProtocolError(
+            E_MALFORMED_FRAME, "ok response carries no 'result' object"
+        )
+    if not ok:
+        error = payload.get("error")
+        if not isinstance(error, dict) or not isinstance(
+            error.get("code"), str
+        ):
+            raise ProtocolError(
+                E_MALFORMED_FRAME,
+                "error response carries no 'error.code'",
+            )
+    return payload

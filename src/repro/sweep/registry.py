@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from ..perf.parallel import BACKOFF_BASE
 from .spec import SweepSpec
 
 __all__ = ["SweepEntry", "SWEEPS", "get_sweep"]
@@ -32,17 +33,20 @@ class SweepEntry:
     description: str
     default_out: str
     build_spec: Callable[[str, int], SweepSpec]
-    #: (scale, seed, cache_dir, workers, shard, out, spans=False)
+    #: (scale, seed, cache_dir, workers, shard, out, spans=False,
+    #:  timeout=None, retries=2, backoff=BACKOFF_BASE)
     run: Callable[..., Dict]
 
 
 def _bench_entry() -> SweepEntry:
     from ..perf.bench import bench_spec, run_bench
 
-    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False,
+            timeout=None, retries=2, backoff=BACKOFF_BASE):
         return run_bench(
             scale=scale, seed=seed, out=out, cache_dir=cache_dir,
-            workers=workers, shard=shard, spans=spans,
+            workers=workers, shard=shard, spans=spans, timeout=timeout,
+            retries=retries, backoff=backoff,
         )
 
     return SweepEntry(
@@ -54,10 +58,12 @@ def _bench_entry() -> SweepEntry:
 def _bench_srt_entry() -> SweepEntry:
     from ..perf.bench_srt import bench_srt_spec, run_bench_srt
 
-    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False,
+            timeout=None, retries=2, backoff=BACKOFF_BASE):
         return run_bench_srt(
             scale=scale, seed=seed, out=out, cache_dir=cache_dir,
-            workers=workers, shard=shard, spans=spans,
+            workers=workers, shard=shard, spans=spans, timeout=timeout,
+            retries=retries, backoff=backoff,
         )
 
     return SweepEntry(
@@ -69,10 +75,12 @@ def _bench_srt_entry() -> SweepEntry:
 def _bench_obs_entry() -> SweepEntry:
     from ..perf.bench_obs import bench_obs_spec, run_bench_obs
 
-    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False,
+            timeout=None, retries=2, backoff=BACKOFF_BASE):
         return run_bench_obs(
             scale=scale, seed=seed, out=out, cache_dir=cache_dir,
-            workers=workers, shard=shard, spans=spans,
+            workers=workers, shard=shard, spans=spans, timeout=timeout,
+            retries=retries, backoff=backoff,
         )
 
     return SweepEntry(
@@ -91,10 +99,12 @@ def _faultsweep_entry() -> SweepEntry:
         trials = preset.pop("trials")
         return faultsweep_spec(trials=trials, seed=seed, **preset)
 
-    def run(scale, seed, cache_dir, workers, shard, out, spans=False):
+    def run(scale, seed, cache_dir, workers, shard, out, spans=False,
+            timeout=None, retries=2, backoff=BACKOFF_BASE):
         sweep = run_sweep(
             build_spec(scale, seed), cache_dir=cache_dir,
-            workers=workers, shard=shard, spans=spans,
+            workers=workers, shard=shard, spans=spans, timeout=timeout,
+            retries=retries, backoff=backoff,
         )
         report = {
             "sweep": "faultsweep", "scale": scale, "seed": seed,

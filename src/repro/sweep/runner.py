@@ -57,7 +57,7 @@ from ..obs.spans import (
     shard_writer,
     write_span,
 )
-from ..perf.parallel import auto_workers, parallel_map
+from ..perf.parallel import BACKOFF_BASE, auto_workers, parallel_map
 from .spec import SweepPoint, SweepSpec
 from .store import NullStore, ResultStore
 
@@ -190,6 +190,7 @@ def run_sweep(
     metrics: Optional[MetricsRegistry] = None,
     timeout: Optional[float] = None,
     retries: int = 2,
+    backoff: float = BACKOFF_BASE,
     spans: bool = False,
 ) -> SweepReport:
     """Run *spec*, reusing every cached point; returns the ordered report.
@@ -198,8 +199,10 @@ def run_sweep(
     solved).  ``stop_after=N`` solves at most *N* uncached points and then
     returns an incomplete report — the deterministic stand-in for a
     mid-sweep kill, used by the resume tests and ``make sweep-smoke``;
-    re-running the same call *is* the resume.  ``timeout``/``retries``
-    pass through to the hardened :func:`~repro.perf.parallel_map`.
+    re-running the same call *is* the resume.  ``timeout``/``retries``/
+    ``backoff`` pass through to the hardened
+    :func:`~repro.perf.parallel_map` (the ``sweep run
+    --timeout/--retries/--backoff`` CLI flags land here).
     ``spans=True`` (requires a cache dir) emits the hierarchical span
     trace described in the module docstring.
     """
@@ -315,6 +318,7 @@ def run_sweep(
                     workers=run_workers,
                     timeout=timeout,
                     retries=retries,
+                    backoff=backoff,
                     stats=pool_stats,
                 )
                 for point, row in zip(batch, out):

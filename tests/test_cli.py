@@ -33,13 +33,22 @@ EXPECTED_FLAGS = {
     "sweep": {
         "action", "name", "scale", "seed", "cache_dir", "shard",
         "workers", "out", "json", "follow", "interval", "trace_spans",
-        "timings",
+        "timings", "timeout", "retries", "backoff",
     },
     "perf": {
         "action", "file", "bench", "gate", "window", "history_dir",
         "json", "ingest",
     },
     "lint": {"paths", "rule", "json"},
+    "serve": {
+        "host", "port", "state_dir", "workers", "queue_limit",
+        "default_deadline", "timeout", "retries", "backoff",
+        "heartbeat_interval", "allow_test_faults",
+    },
+    "call": {
+        "method", "params", "deadline", "state_dir", "host", "port",
+        "timeout", "retries",
+    },
     "selftest": {"trials", "seed"},
     "report": {"output", "scale", "seed", "only"},
 }
@@ -340,6 +349,46 @@ class TestFileCommands:
         assert main(["sweep", "status", "faultsweep", *cache]) == 0
         out = capsys.readouterr().out
         assert "complete" in out and "pts/s" in out
+
+    def test_perf_non_object_report_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "rows.json"
+        bad.write_text("[1, 2, 3]\n")
+        assert main(["perf", "ingest", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "expected a BENCH report object" in captured.err
+        assert "Traceback" not in captured.err
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["perf", "compare", str(garbage)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_experiment_unknown_id_error_contract(self, capsys):
+        assert main(["experiment", "zz"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro-sched: error:")
+        assert "unknown experiment" in captured.err
+
+    def test_call_bad_params_exits_cleanly(self, capsys):
+        assert main(["call", "ping", "--params", "{not json"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        assert main(["call", "ping", "--params", "[1]"]) == 2
+        assert "JSON object" in capsys.readouterr().err
+        assert main(["call", "ping", "--host", "127.0.0.1"]) == 2
+        assert "--host requires --port" in capsys.readouterr().err
+
+    def test_call_no_daemon_exits_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["call", "ping", "--state-dir", str(tmp_path / "nope")]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "repro-sched: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serve_invalid_config_exits_cleanly(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "repro-sched: error:" in capsys.readouterr().err
+        assert main(["serve", "--queue-limit", "-1"]) == 2
+        assert "repro-sched: error:" in capsys.readouterr().err
 
     def test_validate_rejects_mismatched_schedule(self, tmp_path, capsys):
         inst_a = tmp_path / "a.json"

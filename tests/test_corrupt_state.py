@@ -1,0 +1,146 @@
+"""Corrupted on-disk state must never produce a traceback.
+
+The fabric's checkpoint directory (``STATE.json``, ``HEARTBEAT.jsonl``,
+the content-addressed store entries) and the daemon's ``SERVICE.json``
+are all written by processes that can die mid-write.  The contract under
+corruption is one of exactly two outcomes:
+
+* **clean resume** — derived/telemetry files (``STATE.json``, store
+  entries) are rebuilt or re-solved and the run succeeds anyway;
+* **structured exit 2** — files whose content is load-bearing for the
+  requested action (a mid-file heartbeat tear under ``status --follow``,
+  a corrupt ``SERVICE.json`` under ``call``) produce the one-line
+  ``repro-sched: error:`` message.
+
+Either way: never an uncaught exception.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import live_status, read_heartbeats
+from repro.sweep import sweep_status
+from repro.sweep.registry import get_sweep
+from repro.sweep.store import ResultStore
+
+
+@pytest.fixture()
+def completed_sweep(tmp_path):
+    """A completed faultsweep cache to corrupt."""
+    cache_dir = tmp_path / "cache"
+    out = tmp_path / "FAULTSWEEP.json"
+    assert main([
+        "sweep", "run", "faultsweep",
+        "--cache-dir", str(cache_dir), "-o", str(out),
+    ]) == 0
+    entry = get_sweep("faultsweep")
+    spec = entry.build_spec("small", 0)
+    checkpoint = ResultStore(str(cache_dir), spec.name).dir
+    assert (checkpoint / "STATE.json").is_file()
+    assert (checkpoint / "HEARTBEAT.jsonl").is_file()
+    return {
+        "cache_dir": cache_dir, "checkpoint": checkpoint, "spec": spec,
+        "out": out,
+    }
+
+
+class TestCorruptSweepState:
+    def test_truncated_state_json_resumes_cleanly(
+        self, completed_sweep, capsys
+    ):
+        state = completed_sweep["checkpoint"] / "STATE.json"
+        state.write_text(state.read_text()[: len(state.read_text()) // 2])
+        # the run never reads STATE.json (results live in the
+        # content-addressed store) — a re-run resumes from cache and
+        # atomically rewrites the telemetry file
+        assert main([
+            "sweep", "run", "faultsweep",
+            "--cache-dir", str(completed_sweep["cache_dir"]),
+            "-o", str(completed_sweep["out"]),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "solved" in out and "Traceback" not in out
+        assert json.loads(state.read_text())["complete"] is True
+
+    def test_garbage_state_json_status_still_works(
+        self, completed_sweep, capsys
+    ):
+        state = completed_sweep["checkpoint"] / "STATE.json"
+        state.write_text("\x00\x01 not json at all")
+        # one-shot status: coverage comes from the store, the live block
+        # degrades to the heartbeat records
+        assert main([
+            "sweep", "status", "faultsweep",
+            "--cache-dir", str(completed_sweep["cache_dir"]),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "complete" in captured.out
+        assert "Traceback" not in captured.err
+        # the library-level status agrees
+        status = sweep_status(
+            completed_sweep["spec"], str(completed_sweep["cache_dir"])
+        )
+        assert status["complete"]
+
+    def test_torn_heartbeat_tail_is_skipped(self, completed_sweep):
+        hb = completed_sweep["checkpoint"] / "HEARTBEAT.jsonl"
+        before = len(read_heartbeats(hb))
+        assert before > 0
+        with open(hb, "a", encoding="utf-8") as fh:
+            fh.write('{"ts": 1.0, "event": "torn')  # no newline: mid-write
+        # a torn final line is exactly what a live writer produces —
+        # readers skip it
+        assert len(read_heartbeats(hb)) == before
+        assert live_status(completed_sweep["checkpoint"])["complete"]
+
+    def test_mid_file_heartbeat_corruption_is_structured(
+        self, completed_sweep, capsys
+    ):
+        hb = completed_sweep["checkpoint"] / "HEARTBEAT.jsonl"
+        lines = hb.read_text().splitlines()
+        assert len(lines) >= 2
+        lines[0] = "{garbage mid-file"
+        hb.write_text("\n".join(lines) + "\n")
+        # append-only files only tear at the tail; mid-file garbage means
+        # real corruption and --follow refuses with the exit-2 contract
+        with pytest.raises(ValueError, match="corrupt heartbeat"):
+            read_heartbeats(hb)
+        assert main([
+            "sweep", "status", "faultsweep", "--follow",
+            "--cache-dir", str(completed_sweep["cache_dir"]),
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "repro-sched: error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_store_entry_is_resolved(self, completed_sweep, capsys):
+        store_dir = completed_sweep["checkpoint"]
+        entries = sorted(store_dir.glob("??/*.json"))
+        assert entries
+        entries[0].write_text("{truncated")
+        # a corrupt cache entry is a miss, not an error: the point is
+        # simply solved again
+        assert main([
+            "sweep", "run", "faultsweep",
+            "--cache-dir", str(completed_sweep["cache_dir"]),
+            "-o", str(completed_sweep["out"]),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 solved" in out
+
+
+class TestCorruptServiceState:
+    def test_corrupt_service_json_exits_2(self, tmp_path, capsys):
+        (tmp_path / "SERVICE.json").write_text('{"host": "127.0')
+        assert main(["call", "ping", "--state-dir", str(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert "repro-sched: error:" in captured.err
+        assert "corrupt service state" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_truncated_service_json_exits_2(self, tmp_path, capsys):
+        (tmp_path / "SERVICE.json").write_text("")
+        assert main(["call", "status", "--state-dir", str(tmp_path)]) == 2
+        assert "repro-sched: error:" in capsys.readouterr().err
